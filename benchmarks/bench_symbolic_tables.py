@@ -1,0 +1,50 @@
+"""Appendix Tables 3/4/5 — symbolic bound regeneration.
+
+Renders the synthesized templates in the paper's symbolic style and checks
+representative coefficient values against the appendix rows.
+"""
+
+import pytest
+
+from repro.experiments.symbolic_tables import (
+    run_symbolic_tables,
+    symbolic_row_51,
+    symbolic_row_52,
+    symbolic_row_6,
+)
+
+
+def test_table3_race_row(benchmark):
+    """Table 3, Race (40,0): exp(8 * 0.08 * (-0.67x + 0.5y + 16.58))."""
+    row = benchmark(lambda: symbolic_row_51("Race", dict(x0=40, y0=0), "(40,0)"))
+    assert not row.error
+    assert "exp(8 *" in row.rendered
+    assert "x" in row.rendered and "y" in row.rendered
+
+
+def test_table4_race_row(benchmark):
+    """Table 4, Race (40,0): exp(-1.18x + 0.85y + 31.79)."""
+    row = benchmark(lambda: symbolic_row_52("Race", dict(x0=40, y0=0), "(40,0)"))
+    assert not row.error
+    assert "1.1" in row.rendered  # the -1.18-ish x coefficient
+    assert "31." in row.rendered or "32" in row.rendered
+
+
+def test_table5_m1dwalk_row(benchmark):
+    """Table 5, M1DWalk p=1e-4: exp(2e-4 x - 0.02)."""
+    row = benchmark(lambda: symbolic_row_6("M1DWalk", dict(p="1e-4"), "p=1e-4"))
+    assert not row.error
+    assert row.rendered.startswith("exp(")
+
+
+def test_symbolic_tables_subset(benchmark):
+    """Render one row per table end-to-end through the public driver."""
+    specs1 = [("Race", dict(x0=40, y0=0), "(40,0)")]
+    specs2 = [("M1DWalk", dict(p="1e-4"), "p=1e-4")]
+    rows = benchmark.pedantic(
+        lambda: run_symbolic_tables(specs1=specs1, specs2=specs2),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 3
+    assert all(not r.error for r in rows)

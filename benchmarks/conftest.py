@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one slice of the paper's evaluation and *asserts
+the qualitative shape* the paper claims (who wins, by roughly what factor)
+while pytest-benchmark records the runtime.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+
+def ln_ratio_log10(baseline_ln: float, ours_ln: float) -> float:
+    """log10 of (baseline bound / our bound)."""
+    return (baseline_ln - ours_ln) / math.log(10.0)
+
+
+@pytest.fixture(scope="session")
+def paper_table1():
+    from repro.experiments.reference import TABLE1
+
+    return TABLE1
+
+
+@pytest.fixture(scope="session")
+def paper_table2():
+    from repro.experiments.reference import TABLE2
+
+    return TABLE2

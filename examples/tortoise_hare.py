@@ -1,0 +1,51 @@
+"""Section 3.1: the tortoise-hare race, reproduced end to end.
+
+The tortoise starts with a 40-unit edge and advances one unit per round;
+the hare jumps two units with probability 1/2 and rests otherwise.  The
+assertion ``x >= 100`` states that the tortoise wins; we bound the
+probability that the *hare* wins with all three of the paper's algorithms
+and compare against the exact answer.
+
+Run:  python examples/tortoise_hare.py
+"""
+
+import math
+
+from repro.core import (
+    azuma_baseline,
+    exp_lin_syn,
+    hoeffding_synthesis,
+    value_iteration,
+)
+from repro.programs import get_benchmark
+
+
+def main() -> None:
+    for x0 in (35, 40, 45):
+        instance = get_benchmark("Race", x0=x0, y0=0)
+        print(f"=== Race with a {x0}-unit head start ===")
+
+        complete = exp_lin_syn(instance.pts, instance.invariants)
+        hoeffding = hoeffding_synthesis(instance.pts, instance.invariants)
+        azuma = azuma_baseline(instance.pts, instance.invariants)
+        truth = value_iteration(instance.pts)
+
+        print(f"  exact Pr[hare wins]        = {truth.lower:.3e}")
+        print(f"  Section 5.2 (complete)     = {complete.bound_str}")
+        print(f"  Section 5.1 (Hoeffding)    = {hoeffding.bound_str}")
+        print(f"  [CNZ17] baseline (Azuma)   = {azuma.bound_str}")
+        print(f"  synthesized exponent       : {complete.state_function.render(instance.pts.init_location)}")
+
+        # Remark 2's ordering must hold on every instance
+        assert complete.log_bound <= hoeffding.log_bound + 1e-9
+        assert hoeffding.log_bound <= azuma.log_bound + 1e-9
+        assert complete.bound >= truth.lower
+        if x0 == 40:
+            # the paper's headline number for this example: 1.524e-7
+            assert abs(complete.log_bound - math.log(1.524e-7)) < 0.05
+            print(f"  (paper reports 1.52e-7 — ours: {complete.bound:.3e})")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command> <file>``.
+
+Commands
+--------
+
+``compile``    parse a program and print the compiled transition system
+``analyze``    synthesize assertion-violation bounds (upper and/or lower)
+``simulate``   Monte-Carlo estimate of the violation probability
+``exact``      value-iteration bracket on the violation probability
+
+Programs are written in the paper's surface syntax, e.g.::
+
+    x := 40
+    y := 0
+    while x <= 99 and y <= 99:
+        if prob(0.5):
+            x, y := x + 1, y + 2
+        else:
+            x := x + 1
+    assert x >= 100
+
+Example::
+
+    python -m repro analyze race.prob --upper --lower
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["main"]
+
+
+def _load(path: str, integer_mode: bool):
+    from repro.lang import compile_source
+
+    source = Path(path).read_text()
+    return compile_source(source, integer_mode=integer_mode, name=Path(path).stem)
+
+
+def _cmd_compile(args) -> int:
+    result = _load(args.file, not args.real_valued)
+    print(result.pts.pretty())
+    if result.invariants:
+        print("\nsource-level invariant annotations:")
+        for loc, poly in result.invariants.items():
+            print(f"  {loc}: {poly!r}")
+    if args.validate:
+        from repro.pts import validate_pts
+
+        report = validate_pts(result.pts)
+        print(f"\nvalidation: {'ok' if report.ok else 'PROBLEMS'}")
+        for p in report.problems:
+            print(f"  - {p}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.core import (
+        exp_lin_syn,
+        exp_low_syn,
+        generate_interval_invariants,
+        hoeffding_synthesis,
+    )
+
+    result = _load(args.file, not args.real_valued)
+    pts = result.pts
+    invariants = generate_interval_invariants(pts)
+    if result.invariants:
+        invariants = invariants.merged_with(result.invariants)
+    want_upper = args.upper or not args.lower
+    if want_upper:
+        method = hoeffding_synthesis if args.method == "hoeffding" else exp_lin_syn
+        cert = method(pts, invariants)
+        print(f"upper bound ({cert.method}): Pr[violation] <= {cert.bound_str}")
+        for loc, text in sorted(cert.render_template().items()):
+            print(f"  theta({loc}) = {text}")
+        print(f"  solved in {cert.solve_seconds:.2f}s; {cert.solver_info}")
+    if args.lower:
+        cert = exp_low_syn(pts, invariants)
+        print(f"lower bound (explowsyn): Pr[violation] >= {cert.bound_str}")
+        for loc, text in sorted(cert.render_template().items()):
+            print(f"  theta({loc}) = {text}")
+        if cert.termination_certificate is not None:
+            print("  almost-sure termination proved via ranking supermartingale")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.pts import simulate
+
+    result = _load(args.file, not args.real_valued)
+    sim = simulate(result.pts, episodes=args.episodes, max_steps=args.max_steps, seed=args.seed)
+    lo, hi = sim.violation_interval()
+    print(f"episodes            : {sim.episodes}")
+    print(f"violation rate      : {sim.violation_rate:.6g}")
+    print(f"99.9% interval      : [{lo:.6g}, {hi:.6g}]")
+    print(f"termination rate    : {sim.termination_rate:.6g}")
+    print(f"censored episodes   : {sim.censored}")
+    print(f"mean steps/episode  : {sim.mean_steps:.1f}")
+    return 0
+
+
+def _cmd_exact(args) -> int:
+    from repro.core import value_iteration
+
+    result = _load(args.file, not args.real_valued)
+    bracket = value_iteration(result.pts, max_states=args.max_states)
+    print(f"explored states : {bracket.states}{' (truncated)' if bracket.truncated else ''}")
+    print(f"vpf bracket     : [{bracket.lower:.9g}, {bracket.upper:.9g}]")
+    print(f"iterations      : {bracket.iterations}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("file", help="path to the probabilistic program")
+        p.add_argument(
+            "--real-valued",
+            action="store_true",
+            help="disable integer tightening of strict guards",
+        )
+
+    p_compile = sub.add_parser("compile", help="print the compiled PTS")
+    common(p_compile)
+    p_compile.add_argument("--validate", action="store_true")
+    p_compile.set_defaults(fn=_cmd_compile)
+
+    p_analyze = sub.add_parser("analyze", help="synthesize violation bounds")
+    common(p_analyze)
+    p_analyze.add_argument("--upper", action="store_true", help="upper bound (default)")
+    p_analyze.add_argument("--lower", action="store_true", help="lower bound too")
+    p_analyze.add_argument(
+        "--method",
+        choices=["explinsyn", "hoeffding"],
+        default="explinsyn",
+        help="upper-bound algorithm (default: the complete Section 5.2 one)",
+    )
+    p_analyze.set_defaults(fn=_cmd_analyze)
+
+    p_sim = sub.add_parser("simulate", help="Monte-Carlo estimate")
+    common(p_sim)
+    p_sim.add_argument("--episodes", type=int, default=20_000)
+    p_sim.add_argument("--max-steps", type=int, default=100_000)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(fn=_cmd_simulate)
+
+    p_exact = sub.add_parser("exact", help="value-iteration bracket")
+    common(p_exact)
+    p_exact.add_argument("--max-states", type=int, default=200_000)
+    p_exact.set_defaults(fn=_cmd_exact)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Core algorithms of the paper: bound synthesis, fixed points, baselines."""
+
+from repro.core.invariants import InvariantMap, generate_interval_invariants
+from repro.core.zones import Zone, generate_zone_invariants
+from repro.core.concentration import with_step_counter, concentration_bound
+from repro.core.polynomial_lower import PolynomialLowerBound, polynomial_exp_low_syn
+from repro.core.templates import ExpTemplate, ExpStateFunction
+from repro.core.canonical import CanonicalTerm, CanonicalConstraint, canonicalize
+from repro.core.certificates import (
+    RepRSMData,
+    UpperBoundCertificate,
+    LowerBoundCertificate,
+    log_ptf_transition,
+    sample_psi_points,
+)
+from repro.core.explinsyn import exp_lin_syn
+from repro.core.hoeffding import hoeffding_synthesis, azuma_baseline
+from repro.core.explowsyn import exp_low_syn
+from repro.core.termination import TerminationCertificate, prove_almost_sure_termination
+from repro.core.fixpoint import ValueIterationResult, value_iteration, exact_vpf
+from repro.core.polynomial import (
+    Polynomial,
+    handelman_constraints,
+    polynomial_hoeffding_synthesis,
+)
+from repro.core.baselines import (
+    cs13_deviation_bound,
+    BoundedRSM,
+    synthesize_bounded_rsm,
+    cfnh18_concentration_bound,
+    cfnh18_best_bound,
+)
+
+__all__ = [
+    "InvariantMap",
+    "generate_interval_invariants",
+    "Zone",
+    "generate_zone_invariants",
+    "with_step_counter",
+    "concentration_bound",
+    "PolynomialLowerBound",
+    "polynomial_exp_low_syn",
+    "ExpTemplate",
+    "ExpStateFunction",
+    "CanonicalTerm",
+    "CanonicalConstraint",
+    "canonicalize",
+    "RepRSMData",
+    "UpperBoundCertificate",
+    "LowerBoundCertificate",
+    "log_ptf_transition",
+    "sample_psi_points",
+    "exp_lin_syn",
+    "hoeffding_synthesis",
+    "azuma_baseline",
+    "exp_low_syn",
+    "TerminationCertificate",
+    "prove_almost_sure_termination",
+    "ValueIterationResult",
+    "value_iteration",
+    "exact_vpf",
+    "cs13_deviation_bound",
+    "BoundedRSM",
+    "synthesize_bounded_rsm",
+    "cfnh18_concentration_bound",
+    "cfnh18_best_bound",
+    "Polynomial",
+    "handelman_constraints",
+    "polynomial_hoeffding_synthesis",
+]

@@ -1,0 +1,196 @@
+"""ExpLinSyn (Section 5.2): sound and complete exponential upper bounds.
+
+Pipeline, mirroring the paper's five steps:
+
+1. **Templates** — ``theta(l, v) = exp(a_l . v + b_l)`` per interior
+   location, ``theta(l_term) = 0``, ``theta(l_fail) = 1``
+   (:class:`~repro.core.templates.ExpTemplate`).
+2. **Constraints** — the pre fixed-point condition per transition.
+3. **Canonicalization** — divide by ``theta(l_src, v)``
+   (:mod:`repro.core.canonical`).
+4. **Quantifier elimination** — Minkowski-decompose each ``Psi = Q + C``
+   (double description).  Proposition 1 splits the constraint into
+
+   * (D1) each exponent slope ``alpha_j`` must be non-increasing along the
+     recession cone ``C``.  The paper encodes this with Farkas multipliers;
+     we use the equivalent *polar form* read off the same DD run: for every
+     generating ray ``r`` of ``C``, ``alpha_j . r <= 0``, and for every line
+     ``l``, ``alpha_j . l == 0``.  These are plain linear constraints over
+     the unknowns — no fresh multiplier variables inside the convex solve.
+   * (D2) the canonical inequality at every generator point of ``Q`` — a
+     log-sum-exp (convex) constraint after expanding ``E[exp(gamma . r)]``
+     (discrete distributions expand exactly into atom sums; continuous ones
+     contribute their closed-form log-MGF as a smooth convex factor).
+5. **Optimization** — minimize ``a_init . v_init + b_init`` (the log of the
+   reported bound) with the convex solver; the returned point is verified
+   independently by :meth:`UpperBoundCertificate.verify`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SynthesisError
+from repro.numeric.convex import ConvexProgram
+from repro.polyhedra.linexpr import LinExpr
+from repro.polyhedra.minkowski import MinkowskiDecomposition, decompose
+from repro.pts.model import PTS
+from repro.core.canonical import CanonicalConstraint, CanonicalTerm, canonicalize
+from repro.core.certificates import UpperBoundCertificate
+from repro.core.invariants import InvariantMap, generate_interval_invariants
+from repro.core.templates import ExpTemplate
+
+__all__ = ["exp_lin_syn"]
+
+
+def _expand_term_at_point(
+    pts: PTS, term: CanonicalTerm, point: Dict[str, Fraction]
+) -> List[Tuple[float, LinExpr, List]]:
+    """Expand one canonical term at a generator point into LSE term specs.
+
+    Products of discrete MGFs expand into the cartesian product of their
+    atoms (each combination is one exponential of an affine function of the
+    unknowns); continuous sampling variables stay symbolic as smooth
+    log-MGF factors.
+    """
+    base_affine = term.alpha_at(point)
+    discrete: List[Tuple[str, List[Tuple[Fraction, Fraction]]]] = []
+    smooth: List[Tuple] = []
+    for r, gamma in term.gamma.items():
+        dist = pts.distributions[r]
+        atoms = dist.atoms()
+        if atoms is not None:
+            discrete.append((r, atoms))
+        else:
+            smooth.append((dist, gamma))
+    specs: List[Tuple[float, LinExpr, List]] = []
+    if not discrete:
+        specs.append((float(term.prob), base_affine, smooth))
+        return specs
+    atom_lists = [atoms for _, atoms in discrete]
+    names = [r for r, _ in discrete]
+    for combo in product(*atom_lists):
+        weight = float(term.prob)
+        affine = base_affine
+        for name, (p_atom, value) in zip(names, combo):
+            weight *= float(p_atom)
+            affine = affine + term.gamma[name] * value
+        specs.append((weight, affine, smooth))
+    return specs
+
+
+@dataclass
+class _EliminatedConstraint:
+    """Bookkeeping of one canonical constraint after quantifier elimination."""
+
+    constraint: CanonicalConstraint
+    decomposition: MinkowskiDecomposition
+    generator_points: List[Dict[str, Fraction]]
+
+
+def _eliminate(
+    pts: PTS,
+    constraints: Sequence[CanonicalConstraint],
+    program: ConvexProgram,
+) -> List[_EliminatedConstraint]:
+    """Apply Proposition 1 to every canonical constraint, filling ``program``."""
+    eliminated: List[_EliminatedConstraint] = []
+    for k, con in enumerate(constraints):
+        dec = decompose(con.psi)
+        if dec.is_empty:
+            continue  # vacuous (the invariant proves the guard unreachable)
+        label = f"{con.transition_name}#{k}"
+        # (D1): polar form of the cone condition, on the cone's generators.
+        for term_idx, term in enumerate(con.terms):
+            for ray in dec.generators.rays:
+                expr = LinExpr.constant(0)
+                for v, coeff in zip(dec.generators.variables, ray):
+                    if coeff != 0:
+                        expr = expr + term.alpha.get(v, LinExpr.constant(0)) * coeff
+                if not expr.is_zero:
+                    program.add_linear_le(expr, label=f"{label}:D1[{term_idx}]")
+            for line in dec.generators.lines:
+                expr = LinExpr.constant(0)
+                for v, coeff in zip(dec.generators.variables, line):
+                    if coeff != 0:
+                        expr = expr + term.alpha.get(v, LinExpr.constant(0)) * coeff
+                if not expr.is_zero:
+                    program.add_linear_eq(expr, label=f"{label}:D1-line[{term_idx}]")
+        # (D2): the convex inequality at each generator point of the polytope.
+        for p_idx, point in enumerate(dec.polytope_points):
+            specs: List[Tuple[float, LinExpr, List]] = []
+            for term in con.terms:
+                specs.extend(_expand_term_at_point(pts, term, point))
+            if not specs:
+                continue  # all forks terminate: sum is 0 <= 1, trivially true
+            program.add_lse(specs, label=f"{label}:D2[{p_idx}]")
+        eliminated.append(
+            _EliminatedConstraint(con, dec, dec.polytope_points)
+        )
+    return eliminated
+
+
+def exp_lin_syn(
+    pts: PTS,
+    invariants: Optional[InvariantMap] = None,
+    margin: float = 1e-9,
+    maxiter: int = 800,
+    verify: bool = True,
+    warm_start=None,
+) -> UpperBoundCertificate:
+    """Synthesize an exponential upper bound on the assertion violation
+    probability of an affine PTS (the paper's complete algorithm).
+
+    ``invariants`` defaults to automatically generated interval invariants.
+    ``warm_start`` may carry an :class:`ExpStateFunction` known to be a pre
+    fixed-point (e.g. a Hoeffding certificate's scaled function): it seeds
+    the convex solve, guaranteeing the result is at least that tight.
+    Returns an :class:`UpperBoundCertificate` whose ``log_bound`` is
+    ``eta(l_init, v_init)``; ``verify=True`` (default) re-checks the
+    certificate and raises :class:`VerificationError` on failure.
+    """
+    start = time.perf_counter()
+    if invariants is None:
+        invariants = generate_interval_invariants(pts)
+    template = ExpTemplate(pts, include_sinks=False)
+    constraints = canonicalize(pts, invariants, template)
+    program = ConvexProgram()
+    for name in template.unknowns():
+        program.add_unknown(name)
+    eliminated = _eliminate(pts, constraints, program)
+    program.set_objective(template.eta_initial())
+    seed = None
+    if warm_start is not None:
+        seed = {}
+        for loc, row in warm_start.coeffs.items():
+            if loc not in template.locations:
+                continue
+            for v, value in row.items():
+                seed[template.a_name(loc, v)] = float(value)
+            seed[template.b_name(loc)] = float(warm_start.consts[loc])
+    solution = program.solve(margin=margin, maxiter=maxiter, warm_start=seed)
+    if not solution.feasible:
+        raise SynthesisError(
+            f"ExpLinSyn: solver returned an infeasible point "
+            f"(violation {solution.max_violation:.2e})"
+        )
+    state_function = template.instantiate(solution.assignment)
+    log_bound = min(solution.objective, 0.0)  # probabilities never exceed 1
+    certificate = UpperBoundCertificate(
+        method="explinsyn",
+        log_bound=log_bound,
+        state_function=state_function,
+        pts=pts,
+        invariants=invariants,
+        canonical_constraints=list(constraints),
+        solve_seconds=time.perf_counter() - start,
+        solver_info=f"{solution.method}, violation {solution.max_violation:.1e}",
+    )
+    if verify:
+        certificate.verify()
+    return certificate

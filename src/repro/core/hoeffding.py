@@ -1,0 +1,366 @@
+"""HoeffdingSynthesis (Section 5.1): upper bounds via repulsing RSMs.
+
+A ``(beta, delta, eps)``-repulsing ranking supermartingale (RepRSM) is an
+affine ``eta`` over the states with
+
+* (C1) ``eta(l_init, v_init) <= 0``,
+* (C2) ``eta(l_fail, v) >= 0`` on ``I(l_fail)``,
+* (C3) expected decrease by at least ``eps`` along every transition,
+* (C4) one-step differences confined to ``[beta, beta + delta]``.
+
+Theorem 5.1 turns any RepRSM into the pre fixed-point
+``exp(8 eps / delta^2 * eta)`` via Hoeffding's lemma, so
+``exp(8 eps / delta^2 * eta(l_init, v_init))`` bounds the violation
+probability.  (The [CNZ17] baseline of Remark 2 is the same synthesis with
+symmetric differences and the weaker Azuma factor ``4 eps / delta^2`` —
+exposed here as ``factor="azuma"``.)
+
+All four conditions are affine, so after fixing ``delta = 1`` (``eta``
+scales freely) and applying Farkas' lemma they form an LP — except for the
+bilinear objective ``8 * eps * omega``, handled by the Appendix C.2 ternary
+search (:mod:`repro.numeric.ser`): each probe fixes ``eps`` and minimizes
+``omega`` (an upper bound on ``eta(l_init, v_init)``) by LP.
+"""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    InfeasibleError,
+    SolverError,
+    SynthesisError,
+    UnboundedSupportError,
+)
+from repro.numeric.lp import LinearProgram
+from repro.numeric.ser import ternary_search
+from repro.polyhedra.constraints import AffineIneq, Polyhedron
+from repro.polyhedra.farkas import FarkasEncoder, TemplateConstraint
+from repro.polyhedra.linexpr import LinExpr
+from repro.pts.model import PTS
+from repro.core.certificates import RepRSMData, UpperBoundCertificate
+from repro.core.invariants import InvariantMap, generate_interval_invariants
+from repro.core.templates import ExpTemplate
+
+__all__ = ["hoeffding_synthesis", "azuma_baseline"]
+
+EPS = "_eps"
+OMEGA = "_omega"
+BETA = "_beta"
+
+
+def _mean_substituted(pts: PTS, expr: LinExpr) -> LinExpr:
+    """Replace sampling variables by their means (for expectation in (C3))."""
+    subs = {r: LinExpr.constant(d.mean()) for r, d in pts.distributions.items()}
+    needed = {n: subs[n] for n in expr.variables() if n in subs}
+    return expr.substitute(needed) if needed else expr
+
+
+def _eta_of_update(
+    pts: PTS, template: ExpTemplate, dst: str, update
+) -> Tuple[Dict[str, LinExpr], Dict[str, LinExpr], LinExpr]:
+    """``eta_dst(upd(v, r))`` split into (v-coeffs, r-coeffs, const), all
+    affine over the unknowns."""
+    v_coeffs: Dict[str, LinExpr] = {}
+    r_coeffs: Dict[str, LinExpr] = {}
+    const = template.const(dst)
+    for w in pts.program_vars:
+        a_w = template.coeff(dst, w)
+        expr = update.expr_for(w)
+        const = const + a_w * expr.const
+        for name, coeff in expr.coeffs.items():
+            bucket = r_coeffs if name in pts.distributions else v_coeffs
+            bucket[name] = bucket.get(name, LinExpr.constant(0)) + a_w * coeff
+    return v_coeffs, r_coeffs, const
+
+
+def _support_box(pts: PTS) -> Polyhedron:
+    """The box of all sampling-variable supports (raises if unbounded)."""
+    bounds = {}
+    for r, dist in pts.distributions.items():
+        lo, hi = dist.bounded_support()
+        bounds[r] = (lo, hi)
+    return Polyhedron.from_box(bounds)
+
+
+def _build_constraints(
+    pts: PTS, invariants: InvariantMap, template: ExpTemplate
+) -> List[TemplateConstraint]:
+    """All RepRSM conditions as linear constraints over the unknowns
+    (template coefficients, Farkas multipliers, ``_eps``/``_omega``/``_beta``)."""
+    encoder = FarkasEncoder()
+    out: List[TemplateConstraint] = []
+
+    # (C1) eta(init) <= omega <= 0
+    out.append(
+        TemplateConstraint(
+            template.eta_initial() - LinExpr.variable(OMEGA), "<=", label="C1"
+        )
+    )
+    out.append(TemplateConstraint(LinExpr.variable(OMEGA), "<=", label="C1:omega"))
+    # eps >= 0
+    out.append(TemplateConstraint(-LinExpr.variable(EPS), "<=", label="eps>=0"))
+
+    # (C2) eta must be nonnegative at every state that *enters* l_fail.
+    # The paper states C2 over I(l_fail); Theorem 5.1's proof only uses it
+    # at successors of transitions into l_fail, so we encode exactly that —
+    # for each fork into l_fail: eta_fail(upd(v, r)) >= 0 on Psi x U.  This
+    # is strictly more precise than a box invariant at l_fail (which cannot
+    # express relational facts like 3DWalk's x+y+z ~ 1000 slab) and remains
+    # a linear Farkas block.
+    sampling_box = _support_box(pts) if pts.distributions else None
+    for t_index, t in enumerate(pts.transitions):
+        fail_forks = [f for f in t.forks if f.destination == pts.fail_location]
+        if not fail_forks:
+            continue
+        psi = invariants.of(t.source).intersect(t.guard).with_variables(pts.program_vars)
+        if psi.is_empty():
+            continue
+        extended = psi if sampling_box is None else psi.intersect(sampling_box)
+        for f_index, fork in enumerate(fail_forks):
+            v_coeffs, r_coeffs, const = _eta_of_update(
+                pts, template, pts.fail_location, fork.update
+            )
+            coeffs = {v: -e for v, e in v_coeffs.items()}
+            coeffs.update({r: -e for r, e in r_coeffs.items()})
+            out.extend(
+                encoder.encode_implication(
+                    extended, coeffs, const, label=f"C2@T{t_index}.{f_index}"
+                )
+            )
+
+    for t_index, t in enumerate(pts.transitions):
+        psi = invariants.of(t.source).intersect(t.guard).with_variables(pts.program_vars)
+        if psi.is_empty():
+            continue
+        label = f"T{t_index}:{t.name}"
+
+        # (C3) sum_j p_j E[eta_dst(upd_j(v, r))] <= eta_src(v) - eps on Psi
+        c3_coeffs: Dict[str, LinExpr] = {
+            v: -template.coeff(t.source, v) for v in pts.program_vars
+        }
+        c3_rhs = template.const(t.source) - LinExpr.variable(EPS)
+        for fork in t.forks:
+            v_coeffs, r_coeffs, const = _eta_of_update(
+                pts, template, fork.destination, fork.update
+            )
+            p = fork.probability
+            for v, expr in v_coeffs.items():
+                c3_coeffs[v] = c3_coeffs.get(v, LinExpr.constant(0)) + expr * p
+            mean_part = const
+            for r, expr in r_coeffs.items():
+                mean_part = mean_part + expr * pts.distributions[r].mean()
+            c3_rhs = c3_rhs - mean_part * p
+        out.extend(
+            encoder.encode_implication(psi, c3_coeffs, c3_rhs, label=f"{label}:C3")
+        )
+
+        # (C4) beta <= eta_dst(upd(v, r)) - eta_src(v) <= beta + 1 on Psi x U
+        extended = psi if sampling_box is None else psi.intersect(sampling_box)
+        for f_index, fork in enumerate(t.forks):
+            v_coeffs, r_coeffs, const = _eta_of_update(
+                pts, template, fork.destination, fork.update
+            )
+            diff_v = {
+                v: v_coeffs.get(v, LinExpr.constant(0)) - template.coeff(t.source, v)
+                for v in pts.program_vars
+            }
+            diff_const = const - template.const(t.source)
+            beta = LinExpr.variable(BETA)
+            # beta - D <= 0: (-diff) . (v, r) <= diff_const - beta
+            lower_coeffs = {v: -e for v, e in diff_v.items()}
+            lower_coeffs.update({r: -e for r, e in r_coeffs.items()})
+            out.extend(
+                encoder.encode_implication(
+                    extended,
+                    lower_coeffs,
+                    diff_const - beta,
+                    label=f"{label}:C4lo[{f_index}]",
+                )
+            )
+            # D - beta - 1 <= 0: diff . (v, r) <= beta + 1 - diff_const
+            upper_coeffs = dict(diff_v)
+            upper_coeffs.update(r_coeffs)
+            out.extend(
+                encoder.encode_implication(
+                    extended,
+                    upper_coeffs,
+                    beta + 1 - diff_const,
+                    label=f"{label}:C4hi[{f_index}]",
+                )
+            )
+    return out
+
+
+def _fail_reachable(pts: PTS, invariants: InvariantMap) -> bool:
+    """True iff some transition into the failure sink has a nonempty premise."""
+    for t in pts.transitions:
+        if not any(f.destination == pts.fail_location for f in t.forks):
+            continue
+        psi = invariants.of(t.source).intersect(t.guard)
+        if not psi.is_empty():
+            return True
+    return False
+
+
+def _lp_with(
+    constraints: List[TemplateConstraint], extra: List[TemplateConstraint] = ()
+) -> LinearProgram:
+    lp = LinearProgram()
+    for c in list(constraints) + list(extra):
+        (lp.add_le if c.relation == "<=" else lp.add_eq)(c.expr, c.label)
+    return lp
+
+
+def _synthesize(
+    pts: PTS,
+    invariants: Optional[InvariantMap],
+    factor: str,
+    search_tol: float,
+    eps_cap: float,
+    verify: bool,
+) -> UpperBoundCertificate:
+    start = time.perf_counter()
+    if invariants is None:
+        invariants = generate_interval_invariants(pts)
+    template = ExpTemplate(pts, include_sinks=True)
+    if not _fail_reachable(pts, invariants):
+        # the invariant proves no transition into l_fail is ever enabled:
+        # theta = 0 on interior states is a pre fixed-point and vpf = 0
+        zero = template.instantiate({})
+        for sink in (pts.term_location, pts.fail_location):
+            zero.coeffs.pop(sink, None)
+            zero.consts.pop(sink, None)
+        return UpperBoundCertificate(
+            method=factor,
+            log_bound=float("-inf"),
+            state_function=zero,
+            pts=pts,
+            invariants=invariants,
+            solve_seconds=time.perf_counter() - start,
+            solver_info="failure sink unreachable under the invariant",
+        )
+    constraints = _build_constraints(pts, invariants, template)
+    if factor == "azuma":
+        # [CNZ17] via Azuma's inequality: symmetric differences beta = -delta/2
+        constraints = constraints + [
+            TemplateConstraint(
+                LinExpr.variable(BETA) + Fraction(1, 2), "==", label="azuma:beta"
+            )
+        ]
+    multiplier = 8.0 if factor == "hoeffding" else 4.0
+
+    # Step 1 of Ser: feasibility and the eps range.
+    probe = _lp_with(constraints)
+    try:
+        values = probe.solve(minimize=-LinExpr.variable(EPS))
+        eps_max = min(values[EPS], eps_cap)
+    except InfeasibleError:
+        raise SynthesisError(
+            f"{factor}: RepRSM constraint system is infeasible "
+            "(no affine repulsing supermartingale exists for this invariant)"
+        )
+    except SolverError:
+        eps_max = eps_cap  # eps unbounded: cap it (bound becomes astronomically small)
+    if eps_max <= 0:
+        return _trivial_certificate(pts, invariants, template, factor, start)
+
+    # Step 2: ternary search over eps; each probe is one LP minimizing omega.
+    def f(eps: float):
+        fixed = TemplateConstraint(
+            LinExpr.variable(EPS) - LinExpr.constant(Fraction(str(round(eps, 12)))),
+            "==",
+            label="fix-eps",
+        )
+        lp = _lp_with(constraints, [fixed])
+        try:
+            assignment = lp.solve(minimize=LinExpr.variable(OMEGA))
+        except (InfeasibleError, SolverError):
+            return float("inf"), None
+        return multiplier * eps * assignment[OMEGA], assignment
+
+    result = ternary_search(f, 0.0, eps_max, tol=max(search_tol, search_tol * eps_max))
+    if result.payload is None or result.value >= 0:
+        return _trivial_certificate(pts, invariants, template, factor, start)
+    assignment = result.payload
+    eps_star = assignment[EPS]
+    beta_star = assignment.get(BETA, 0.0)
+    eta = template.instantiate(assignment)
+    init_val = {k: float(v) for k, v in pts.init_valuation.items()}
+    eta_init = eta.exponent(pts.init_location, init_val)
+    scale = multiplier * eps_star
+    log_bound = min(scale * eta_init, 0.0)
+
+    scaled = template.instantiate(
+        {name: scale * value for name, value in assignment.items() if name.startswith(("a(", "b("))}
+    )
+    # the fixed-point view only owns interior rows; sinks use the 0/1 convention
+    for sink in (pts.term_location, pts.fail_location):
+        scaled.coeffs.pop(sink, None)
+        scaled.consts.pop(sink, None)
+    certificate = UpperBoundCertificate(
+        method=factor,
+        log_bound=log_bound,
+        state_function=scaled,
+        pts=pts,
+        invariants=invariants,
+        solve_seconds=time.perf_counter() - start,
+        solver_info=f"Ser: {result.evaluations} LPs, eps*={eps_star:.6g}",
+        reprsm=RepRSMData(eta=eta, eps=eps_star, beta=beta_star, delta=1.0),
+    )
+    if verify:
+        certificate.verify()
+    return certificate
+
+
+def _trivial_certificate(pts, invariants, template, factor, start) -> UpperBoundCertificate:
+    """The always-sound bound 1 (returned when no useful RepRSM exists)."""
+    zero = template.instantiate({})
+    for sink in (pts.term_location, pts.fail_location):
+        zero.coeffs.pop(sink, None)
+        zero.consts.pop(sink, None)
+    return UpperBoundCertificate(
+        method=factor,
+        log_bound=0.0,
+        state_function=zero,
+        pts=pts,
+        invariants=invariants,
+        solve_seconds=time.perf_counter() - start,
+        solver_info="trivial (no eps > 0 with omega < 0)",
+        reprsm=RepRSMData(eta=template.instantiate({}), eps=0.0, beta=0.0),
+    )
+
+
+def hoeffding_synthesis(
+    pts: PTS,
+    invariants: Optional[InvariantMap] = None,
+    search_tol: float = 1e-6,
+    eps_cap: float = 1e4,
+    verify: bool = True,
+) -> UpperBoundCertificate:
+    """The Section 5.1 algorithm: RepRSM synthesis + Hoeffding's lemma.
+
+    Polynomial-time and sound but incomplete; bounds are provably tighter
+    than the Azuma-based [CNZ17] baseline (Remark 2) but generally looser
+    than :func:`~repro.core.explinsyn.exp_lin_syn`.
+    """
+    return _synthesize(pts, invariants, "hoeffding", search_tol, eps_cap, verify)
+
+
+def azuma_baseline(
+    pts: PTS,
+    invariants: Optional[InvariantMap] = None,
+    search_tol: float = 1e-6,
+    eps_cap: float = 1e4,
+    verify: bool = False,
+) -> UpperBoundCertificate:
+    """The [CNZ17] stochastic-invariant baseline (Remark 2).
+
+    Same RepRSM synthesis restricted to symmetric differences
+    (``beta = -delta/2``) with the Azuma factor ``4 eps / delta^2`` — the
+    most favourable reading of the prior work's bound, so every comparison
+    in our tables is conservative.
+    """
+    return _synthesize(pts, invariants, "azuma", search_tol, eps_cap, verify)

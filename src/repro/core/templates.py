@@ -1,0 +1,165 @@
+"""Exponential state-function templates ``theta(l, v) = exp(a_l . v + b_l)``.
+
+Every synthesis algorithm of the paper instantiates the same template shape
+(Step 1 of Sections 5.1, 5.2 and 6): one unknown coefficient vector ``a_l``
+and scalar ``b_l`` per location.  :class:`ExpTemplate` owns the unknown
+*names* and their symbolic :class:`LinExpr` forms; :class:`ExpStateFunction`
+is a solved instance that can be evaluated (in log space) and rendered like
+the paper's appendix tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.polyhedra.linexpr import LinExpr
+from repro.pts.model import PTS
+
+__all__ = ["ExpTemplate", "ExpStateFunction"]
+
+NEG_INF = float("-inf")
+
+
+class ExpTemplate:
+    """Unknown-coefficient bookkeeping for per-location affine exponents.
+
+    ``include_sinks=True`` additionally creates template rows for the two
+    sink locations — needed by RepRSM synthesis (Section 5.1), where ``eta``
+    is defined on *all* states, but not by the fixed-point templates of
+    Sections 5.2/6, where ``theta`` is pinned to 0/1 at the sinks.
+    """
+
+    def __init__(self, pts: PTS, include_sinks: bool = False):
+        self.pts = pts
+        self.variables: Tuple[str, ...] = pts.program_vars
+        locations = list(pts.interior_locations)
+        if include_sinks:
+            locations += [pts.term_location, pts.fail_location]
+        self.locations: Tuple[str, ...] = tuple(locations)
+
+    # -- unknown naming -----------------------------------------------------------
+    @staticmethod
+    def a_name(location: str, variable: str) -> str:
+        return f"a({location},{variable})"
+
+    @staticmethod
+    def b_name(location: str) -> str:
+        return f"b({location})"
+
+    def unknowns(self) -> List[str]:
+        """All unknown coefficient names, location-major."""
+        names: List[str] = []
+        for loc in self.locations:
+            names.extend(self.a_name(loc, v) for v in self.variables)
+            names.append(self.b_name(loc))
+        return names
+
+    # -- symbolic access -----------------------------------------------------------
+    def coeff(self, location: str, variable: str) -> LinExpr:
+        """The unknown ``a_l[v]`` as a symbolic expression."""
+        self._check(location)
+        return LinExpr.variable(self.a_name(location, variable))
+
+    def const(self, location: str) -> LinExpr:
+        """The unknown ``b_l``."""
+        self._check(location)
+        return LinExpr.variable(self.b_name(location))
+
+    def eta_at(self, location: str, valuation: Mapping[str, Fraction]) -> LinExpr:
+        """``eta(l, valuation)`` as an affine expression over the unknowns."""
+        self._check(location)
+        expr = self.const(location)
+        for v in self.variables:
+            expr = expr + self.coeff(location, v) * valuation[v]
+        return expr
+
+    def eta_initial(self) -> LinExpr:
+        """``eta(l_init, v_init)`` — the objective of all three algorithms."""
+        return self.eta_at(self.pts.init_location, self.pts.init_valuation)
+
+    def _check(self, location: str) -> None:
+        if location not in self.locations:
+            raise ModelError(f"no template row for location {location!r}")
+
+    # -- instantiation ----------------------------------------------------------------
+    def instantiate(self, assignment: Mapping[str, float]) -> "ExpStateFunction":
+        """Bind the unknowns to solver values (missing unknowns default to 0)."""
+        coeffs: Dict[str, Dict[str, float]] = {}
+        consts: Dict[str, float] = {}
+        for loc in self.locations:
+            coeffs[loc] = {
+                v: float(assignment.get(self.a_name(loc, v), 0.0)) for v in self.variables
+            }
+            consts[loc] = float(assignment.get(self.b_name(loc), 0.0))
+        return ExpStateFunction(
+            variables=self.variables,
+            coeffs=coeffs,
+            consts=consts,
+            term_location=self.pts.term_location,
+            fail_location=self.pts.fail_location,
+        )
+
+
+@dataclass
+class ExpStateFunction:
+    """A solved exponential state function.
+
+    ``log_value`` returns ``log theta(l, v)``; at the sinks the fixed-point
+    convention applies (``theta(l_term) = 0``, ``theta(l_fail) = 1``) unless
+    the location has its own template row (the RepRSM case), in which case
+    the exponent is evaluated like any other location.
+    """
+
+    variables: Tuple[str, ...]
+    coeffs: Dict[str, Dict[str, float]]
+    consts: Dict[str, float]
+    term_location: str
+    fail_location: str
+
+    def exponent(self, location: str, valuation: Mapping[str, float]) -> float:
+        """``eta(l, v) = a_l . v + b_l`` for a location with a template row."""
+        row = self.coeffs[location]
+        total = self.consts[location]
+        for v in self.variables:
+            total += row[v] * float(valuation[v])
+        return total
+
+    def log_value(self, location: str, valuation: Mapping[str, float]) -> float:
+        """``log theta(l, v)`` with sink conventions for rows we do not own."""
+        if location in self.coeffs:
+            return self.exponent(location, valuation)
+        if location == self.term_location:
+            return NEG_INF  # theta = 0
+        if location == self.fail_location:
+            return 0.0  # theta = 1
+        raise ModelError(f"no template row for location {location!r}")
+
+    def value(self, location: str, valuation: Mapping[str, float]) -> float:
+        """``theta(l, v)`` (may underflow to 0.0 for very negative exponents)."""
+        lv = self.log_value(location, valuation)
+        return 0.0 if lv == NEG_INF else math.exp(min(lv, 700.0))
+
+    def render(self, location: str, digits: int = 3) -> str:
+        """Human-readable ``exp(c1*x + ... + b)`` like the paper's Tables 3-5."""
+        if location not in self.coeffs:
+            if location == self.term_location:
+                return "0"
+            if location == self.fail_location:
+                return "1"
+            raise ModelError(f"no template row for location {location!r}")
+        parts: List[str] = []
+        for v in self.variables:
+            c = self.coeffs[location][v]
+            if abs(c) < 10 ** (-digits - 3):
+                continue
+            sign = "-" if c < 0 else ("+" if parts else "")
+            parts.append(f"{sign} {abs(c):.{digits}g}*{v}".strip())
+        b = self.consts[location]
+        if abs(b) >= 10 ** (-digits - 3) or not parts:
+            sign = "-" if b < 0 else ("+" if parts else "")
+            parts.append(f"{sign} {abs(b):.{digits}g}".strip())
+        return "exp(" + " ".join(parts) + ")"

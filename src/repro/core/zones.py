@@ -1,0 +1,413 @@
+"""Zone (difference-bound-matrix) abstract domain for invariant generation.
+
+Interval invariants cannot express relational facts like ``y >= 100 - x``;
+zones track all constraints of the forms ``x - y <= c``, ``x <= c`` and
+``-x <= c`` — the classic DBM domain [Mine 2001].  The library uses zones
+as a second, more precise automatic invariant generator
+(:func:`generate_zone_invariants`); both generators can be intersected.
+
+Representation: variables ``v_1..v_n`` plus the zero variable ``v_0 = 0``;
+``bound(i, j) = c`` encodes ``v_i - v_j <= c`` (``None`` = unbounded).
+Canonicalization is the all-pairs shortest-path closure; an inconsistent
+(empty) zone shows up as a negative cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.polyhedra.constraints import AffineIneq, Polyhedron
+from repro.polyhedra.linexpr import LinExpr
+from repro.pts.model import PTS
+
+__all__ = ["Zone", "generate_zone_invariants"]
+
+Bound = Optional[Fraction]  # None = +infinity
+
+
+def _badd(a: Bound, b: Bound) -> Bound:
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+def _bmin(a: Bound, b: Bound) -> Bound:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _bmax(a: Bound, b: Bound) -> Bound:
+    if a is None or b is None:
+        return None
+    return max(a, b)
+
+
+def _ble(a: Bound, b: Bound) -> bool:
+    """a <= b in the extended order (None = +inf)."""
+    if b is None:
+        return True
+    if a is None:
+        return False
+    return a <= b
+
+
+class Zone:
+    """A closed DBM over ``variables`` (index 0 is the zero variable)."""
+
+    def __init__(self, variables: Sequence[str], bounds: Optional[List[List[Bound]]] = None):
+        self.variables: Tuple[str, ...] = tuple(variables)
+        n = len(self.variables) + 1
+        if bounds is None:
+            bounds = [[None if i != j else Fraction(0) for j in range(n)] for i in range(n)]
+        self.bounds: List[List[Bound]] = bounds
+        self._bottom = False
+
+    # -- construction -----------------------------------------------------------
+    @staticmethod
+    def top(variables: Sequence[str]) -> "Zone":
+        return Zone(variables)
+
+    @staticmethod
+    def from_point(variables: Sequence[str], point: Dict[str, Fraction]) -> "Zone":
+        z = Zone(variables)
+        for i, v in enumerate(variables, start=1):
+            c = Fraction(point[v])
+            z.bounds[i][0] = c  # v - 0 <= c
+            z.bounds[0][i] = -c  # 0 - v <= -c
+        z.close()
+        return z
+
+    def copy(self) -> "Zone":
+        z = Zone(self.variables, [row[:] for row in self.bounds])
+        z._bottom = self._bottom
+        return z
+
+    def index(self, name: str) -> int:
+        return self.variables.index(name) + 1
+
+    @property
+    def is_bottom(self) -> bool:
+        return self._bottom
+
+    # -- canonicalization ----------------------------------------------------------
+    def close(self) -> "Zone":
+        """Floyd-Warshall closure; detects emptiness via negative cycles."""
+        if self._bottom:
+            return self
+        n = len(self.bounds)
+        b = self.bounds
+        for k in range(n):
+            for i in range(n):
+                ik = b[i][k]
+                if ik is None:
+                    continue
+                for j in range(n):
+                    through = _badd(ik, b[k][j])
+                    if through is not None and not _ble(b[i][j], through):
+                        b[i][j] = through
+        for i in range(n):
+            if b[i][i] is not None and b[i][i] < 0:
+                self._bottom = True
+                break
+        return self
+
+    # -- lattice operations ------------------------------------------------------------
+    def join(self, other: "Zone") -> "Zone":
+        if self._bottom:
+            return other.copy()
+        if other._bottom:
+            return self.copy()
+        n = len(self.bounds)
+        out = Zone(self.variables, [
+            [_bmax(self.bounds[i][j], other.bounds[i][j]) for j in range(n)]
+            for i in range(n)
+        ])
+        return out
+
+    def widen(self, newer: "Zone", thresholds: Sequence[Fraction] = ()) -> "Zone":
+        """Threshold widening: growing bounds jump to the next threshold."""
+        if self._bottom:
+            return newer.copy()
+        if newer._bottom:
+            return self.copy()
+        n = len(self.bounds)
+        out = Zone(self.variables)
+        for i in range(n):
+            for j in range(n):
+                old, new = self.bounds[i][j], newer.bounds[i][j]
+                if _ble(new, old):
+                    out.bounds[i][j] = old
+                else:
+                    above = [t for t in thresholds if new is not None and t >= new]
+                    out.bounds[i][j] = min(above) if above else None
+        return out
+
+    def le(self, other: "Zone") -> bool:
+        if self._bottom:
+            return True
+        if other._bottom:
+            return False
+        n = len(self.bounds)
+        return all(
+            _ble(self.bounds[i][j], other.bounds[i][j])
+            for i in range(n)
+            for j in range(n)
+        )
+
+    # -- transfer functions --------------------------------------------------------------
+    def meet_atom(self, expr: LinExpr) -> "Zone":
+        """Intersect with ``expr <= 0`` when it is zone-expressible.
+
+        Handles ``+-x + c <= 0`` and ``x - y + c <= 0``; any other shape is
+        soundly ignored.  Returns a closed copy.
+        """
+        z = self.copy()
+        coeffs = expr.coeffs
+        c = expr.const
+        names = sorted(coeffs)
+        if len(names) == 1 and coeffs[names[0]] in (1, -1):
+            i = z.index(names[0])
+            if coeffs[names[0]] == 1:  # x <= -c
+                z.bounds[i][0] = _bmin(z.bounds[i][0], -c)
+            else:  # -x <= -c  i.e.  0 - x <= -c
+                z.bounds[0][i] = _bmin(z.bounds[0][i], -c)
+        elif (
+            len(names) == 2
+            and sorted((coeffs[names[0]], coeffs[names[1]])) == [Fraction(-1), Fraction(1)]
+        ):
+            pos = names[0] if coeffs[names[0]] == 1 else names[1]
+            neg = names[1] if pos == names[0] else names[0]
+            i, j = z.index(pos), z.index(neg)
+            z.bounds[i][j] = _bmin(z.bounds[i][j], -c)
+        return z.close()
+
+    def interval_of(self, expr: LinExpr) -> Tuple[Bound, Bound]:
+        """``(lower, upper)`` bounds of an affine expression under the zone
+        (interval evaluation on the per-variable bounds)."""
+        if self._bottom:
+            return Fraction(0), Fraction(0)
+        lo: Bound = expr.const
+        hi: Bound = expr.const
+        for name, coeff in expr.coeffs.items():
+            i = self.index(name)
+            v_hi = self.bounds[i][0]  # x <= c
+            v_lo = None if self.bounds[0][i] is None else -self.bounds[0][i]
+            if coeff > 0:
+                lo = None if v_lo is None or lo is None else lo + coeff * v_lo
+                hi = None if v_hi is None or hi is None else hi + coeff * v_hi
+            else:
+                lo = None if v_hi is None or lo is None else lo + coeff * v_hi
+                hi = None if v_lo is None or hi is None else hi + coeff * v_lo
+        return lo, hi
+
+    def assign(self, updates: Dict[str, LinExpr]) -> "Zone":
+        """Simultaneous assignment transfer.
+
+        Exact for updates of the forms ``x := y + c`` / ``x := c``; other
+        right-hand sides fall back to interval bounds.  Simultaneity is
+        handled by evaluating all right-hand sides against the *pre* zone.
+        """
+        if self._bottom:
+            return self.copy()
+        pre = self
+        out = self.copy()
+        targets = set(updates)
+        n = len(self.bounds)
+        # step 1: havoc all targets (drop every relation they appear in)
+        for name in targets:
+            i = out.index(name)
+            for k in range(n):
+                if k != i:
+                    out.bounds[i][k] = None
+                    out.bounds[k][i] = None
+            out.bounds[i][i] = Fraction(0)
+        # step 2: reconstrain from the pre-state
+        for name, expr in updates.items():
+            i = out.index(name)
+            coeffs = expr.coeffs
+            if len(coeffs) == 1:
+                (src, coeff), = coeffs.items()
+                if coeff == 1 and src not in targets:
+                    # x' = y + c with y unmodified: exact difference bounds
+                    j = out.index(src)
+                    out.bounds[i][j] = expr.const
+                    out.bounds[j][i] = -expr.const
+            if len(coeffs) == 1 and next(iter(coeffs.items()))[1] == 1:
+                src = next(iter(coeffs))
+                # also transfer the pre-state's own bounds of src (+ c)
+                j_pre = pre.index(src)
+                hi = _badd(pre.bounds[j_pre][0], expr.const)
+                lo = _badd(pre.bounds[0][j_pre], -expr.const)
+                out.bounds[i][0] = _bmin(out.bounds[i][0], hi)
+                out.bounds[0][i] = _bmin(out.bounds[0][i], lo)
+                continue
+            lo, hi = pre.interval_of(expr)
+            out.bounds[i][0] = hi
+            out.bounds[0][i] = None if lo is None else -lo
+        # step 3: exact pairwise differences between two rebuilt targets
+        for a, ea in updates.items():
+            for b, eb in updates.items():
+                if a == b:
+                    continue
+                diff = ea - eb
+                if diff.is_constant:
+                    i, j = out.index(a), out.index(b)
+                    out.bounds[i][j] = _bmin(out.bounds[i][j], diff.const)
+        return out.close()
+
+    # -- conversion -------------------------------------------------------------------------
+    def to_polyhedron(self) -> Polyhedron:
+        """The zone as an H-representation polyhedron (finite bounds only)."""
+        if self._bottom:
+            return Polyhedron(
+                self.variables, [AffineIneq(LinExpr.constant(1))]
+            )  # empty
+        ineqs: List[AffineIneq] = []
+        n = len(self.bounds)
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                c = self.bounds[i][j]
+                if c is None:
+                    continue
+                expr = LinExpr.constant(-c)
+                if i > 0:
+                    expr = expr + LinExpr.variable(self.variables[i - 1])
+                if j > 0:
+                    expr = expr - LinExpr.variable(self.variables[j - 1])
+                ineqs.append(AffineIneq(expr))
+        return Polyhedron(self.variables, ineqs)
+
+    def __repr__(self) -> str:
+        if self._bottom:
+            return "Zone(bottom)"
+        parts = []
+        poly = self.to_polyhedron()
+        return f"Zone[{' and '.join(str(i) for i in poly.inequalities) or 'top'}]"
+
+
+def _zone_thresholds(pts: PTS) -> List[Fraction]:
+    """Threshold candidates: guard constants (and +-1 neighbourhoods)."""
+    out = set()
+    for t in pts.transitions:
+        for ineq in t.guard.inequalities:
+            c = -ineq.expr.const
+            out.update({c - 1, c, c + 1, -c - 1, -c, -c + 1})
+    for v in pts.program_vars:
+        out.add(pts.init_valuation[v])
+    return sorted(out)
+
+
+def generate_zone_invariants(
+    pts: PTS, widen_after: int = 12, max_rounds: int = 400
+) -> "InvariantMap":
+    """Zone-based invariant generation (same worklist shape as the interval
+    generator, but relational)."""
+    from repro.core.invariants import InvariantMap
+
+    variables = pts.program_vars
+    thresholds = _zone_thresholds(pts)
+    supports: Dict[str, Tuple[Bound, Bound]] = {}
+    for r, d in pts.distributions.items():
+        supports[r] = d.support()
+
+    def transfer(zone: Zone, guard: Polyhedron, update) -> Zone:
+        entry = zone
+        for ineq in guard.inequalities:
+            entry = entry.meet_atom(ineq.expr)
+            if entry.is_bottom:
+                return entry
+        # sampling variables: replace by their support interval via a
+        # conservative pre-pass (substitute bounds into the expressions)
+        updates: Dict[str, LinExpr] = {}
+        for v in variables:
+            expr = update.expr_for(v)
+            if any(name in supports for name in expr.variables()):
+                # widen each sampling variable to its support midpoint +-
+                # range by splitting into lo/hi envelopes: approximate with
+                # interval arithmetic inside assign() by rewriting r -> 0
+                # and padding the result below.
+                updates[v] = expr
+            elif expr != LinExpr.variable(v):
+                updates[v] = expr
+            elif False:  # pragma: no cover
+                pass
+        if not updates:
+            return entry
+        # split sampling variables out of the update expressions
+        clean_updates: Dict[str, LinExpr] = {}
+        pads: Dict[str, Tuple[Bound, Bound]] = {}
+        for v, expr in updates.items():
+            pad_lo: Bound = Fraction(0)
+            pad_hi: Bound = Fraction(0)
+            clean = LinExpr.constant(expr.const)
+            for name, coeff in expr.coeffs.items():
+                if name in supports:
+                    lo, hi = supports[name]
+                    if coeff > 0:
+                        pad_lo = None if lo is None or pad_lo is None else pad_lo + coeff * lo
+                        pad_hi = None if hi is None or pad_hi is None else pad_hi + coeff * hi
+                    else:
+                        pad_lo = None if hi is None or pad_lo is None else pad_lo + coeff * hi
+                        pad_hi = None if lo is None or pad_hi is None else pad_hi + coeff * lo
+                else:
+                    clean = clean + LinExpr({name: coeff})
+            clean_updates[v] = clean
+            pads[v] = (pad_lo, pad_hi)
+        post = entry.assign(clean_updates)
+        # pad sampled targets
+        for v, (pad_lo, pad_hi) in pads.items():
+            if pad_lo == 0 and pad_hi == 0:
+                continue
+            i = post.index(v)
+            n = len(post.bounds)
+            for k in range(n):
+                if k == i:
+                    continue
+                post.bounds[i][k] = _badd(post.bounds[i][k], pad_hi)
+                post.bounds[k][i] = _badd(post.bounds[k][i], None if pad_lo is None else -pad_lo)
+            post.close()
+        return post
+
+    states: Dict[str, Zone] = {
+        pts.init_location: Zone.from_point(variables, dict(pts.init_valuation))
+    }
+    visits: Dict[str, int] = {}
+    worklist = [pts.init_location]
+    rounds = 0
+    while worklist and rounds < max_rounds:
+        rounds += 1
+        loc = worklist.pop()
+        zone = states.get(loc)
+        if zone is None or zone.is_bottom:
+            continue
+        for t in pts.transitions_from(loc):
+            for fork in t.forks:
+                image = transfer(zone, t.guard, fork.update)
+                if image.is_bottom:
+                    continue
+                dest = fork.destination
+                old = states.get(dest)
+                if old is None:
+                    states[dest] = image
+                    if not pts.is_sink(dest):
+                        worklist.append(dest)
+                    continue
+                if image.le(old):
+                    continue
+                joined = old.join(image)
+                visits[dest] = visits.get(dest, 0) + 1
+                if visits[dest] > widen_after:
+                    joined = old.widen(joined, thresholds)
+                states[dest] = joined.close()
+                if not pts.is_sink(dest):
+                    worklist.append(dest)
+    mapping = {loc: zone.to_polyhedron() for loc, zone in states.items()}
+    return InvariantMap(pts, mapping)

@@ -1,0 +1,31 @@
+"""Experiment harness regenerating the paper's Tables 1, 2 and 3-5."""
+
+from repro.experiments.reference import PaperRow, TABLE1, TABLE2, ln_to_log10, log10_to_ln
+from repro.experiments.table1 import Table1Row, TABLE1_SPECS, run_row, run_table1, format_table1
+from repro.experiments.table2 import Table2Row, TABLE2_SPECS, run_row2, run_table2, format_table2
+from repro.experiments.symbolic_tables import (
+    SymbolicRow,
+    run_symbolic_tables,
+    format_symbolic,
+)
+
+__all__ = [
+    "PaperRow",
+    "TABLE1",
+    "TABLE2",
+    "ln_to_log10",
+    "log10_to_ln",
+    "Table1Row",
+    "TABLE1_SPECS",
+    "run_row",
+    "run_table1",
+    "format_table1",
+    "Table2Row",
+    "TABLE2_SPECS",
+    "run_row2",
+    "run_table2",
+    "format_table2",
+    "SymbolicRow",
+    "run_symbolic_tables",
+    "format_symbolic",
+]

@@ -1,0 +1,104 @@
+"""Paper-reported numbers for Tables 1 and 2 (reference data).
+
+Bounds are stored in ``log10`` because several entries (``1e-655``,
+``1e-3230``) are far below double-precision range.  Helper accessors
+return natural-log values consistent with the rest of the library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = ["PaperRow", "TABLE1", "TABLE2", "log10_to_ln", "ln_to_log10"]
+
+LN10 = math.log(10.0)
+
+
+def log10_to_ln(v: Optional[float]) -> Optional[float]:
+    return None if v is None else v * LN10
+
+
+def ln_to_log10(v: Optional[float]) -> Optional[float]:
+    return None if v is None else v / LN10
+
+
+def _l10(mantissa: float, exponent: int) -> float:
+    """log10 of ``mantissa * 10^exponent``."""
+    return math.log10(mantissa) + exponent
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of Table 1 (upper bounds) or Table 2 (lower bounds).
+
+    All bound fields are log10 of the reported probability (``None`` when
+    the paper reports "No result" / "Not applicable").
+    """
+
+    family: str
+    benchmark: str
+    param_label: str
+    sec51_log10: Optional[float] = None  # Algorithm of Section 5.1
+    sec52_log10: Optional[float] = None  # Algorithm of Section 5.2
+    sec6_log10: Optional[float] = None  # Algorithm of Section 6 (Table 2)
+    previous_log10: Optional[float] = None
+
+
+TABLE1: Dict[Tuple[str, str], PaperRow] = {
+    (row.benchmark, row.param_label): row
+    for row in [
+        # --- Deviation ------------------------------------------------------
+        PaperRow("Deviation", "RdAdder", "d=25", _l10(7.54, -2), _l10(7.43, -2), None, _l10(8.00, -2)),
+        PaperRow("Deviation", "RdAdder", "d=50", _l10(3.95, -5), _l10(3.54, -5), None, _l10(4.54, -5)),
+        PaperRow("Deviation", "RdAdder", "d=75", _l10(1.44, -10), _l10(9.17, -11), None, _l10(1.69, -10)),
+        PaperRow("Deviation", "Robot", "d=1.8", _l10(1.66, -1), _l10(9.64, -6), None, _l10(2.04, -5)),
+        PaperRow("Deviation", "Robot", "d=2.0", _l10(6.81, -3), _l10(4.78, -7), None, _l10(1.62, -6)),
+        PaperRow("Deviation", "Robot", "d=2.2", _l10(5.66, -5), _l10(1.51, -8), None, _l10(9.85, -8)),
+        # --- Concentration --------------------------------------------------
+        PaperRow("Concentration", "Coupon", "T>100", _l10(1.02, -1), _l10(7.01, -5), None, _l10(6.00, -3)),
+        PaperRow("Concentration", "Coupon", "T>300", _l10(4.02, -5), _l10(7.44, -22), None, _l10(9.01, -10)),
+        PaperRow("Concentration", "Coupon", "T>500", _l10(1.40, -8), _l10(4.01, -40), None, _l10(1.05, -16)),
+        PaperRow("Concentration", "Prspeed", "T>150", _l10(5.42, -7), _l10(7.43, -23), None, _l10(5.00, -3)),
+        PaperRow("Concentration", "Prspeed", "T>200", _l10(1.89, -10), _l10(8.03, -36), None, _l10(2.59, -5)),
+        PaperRow("Concentration", "Prspeed", "T>250", _l10(5.65, -14), _l10(2.71, -49), None, _l10(9.17, -8)),
+        PaperRow("Concentration", "Rdwalk", "T>400", _l10(1.85, -3), _l10(2.12, -7), None, _l10(3.18, -6)),
+        PaperRow("Concentration", "Rdwalk", "T>500", _l10(1.43, -5), _l10(1.57, -12), None, _l10(1.40, -10)),
+        PaperRow("Concentration", "Rdwalk", "T>600", _l10(5.47, -8), _l10(4.81, -18), None, _l10(2.68, -15)),
+        # --- StoInv ----------------------------------------------------------
+        PaperRow("StoInv", "1DWalk", "x=10", _l10(1.73, -64), _l10(7.82, -208), None, _l10(5.1, -5)),
+        PaperRow("StoInv", "1DWalk", "x=50", _l10(6.77, -62), _l10(1.79, -199), None, _l10(1.0, -4)),
+        PaperRow("StoInv", "1DWalk", "x=100", _l10(1.04, -58), _l10(5.03, -189), None, _l10(2.5, -4)),
+        PaperRow("StoInv", "2DWalk", "(1000,10)", _l10(4.14, -73), _l10(1.0, -655), None, _l10(2.4, -11)),
+        PaperRow("StoInv", "2DWalk", "(500,40)", _l10(6.43, -37), _l10(9.61, -278), None, _l10(5.5, -4)),
+        PaperRow("StoInv", "2DWalk", "(400,50)", _l10(1.11, -29), _l10(1.02, -218), None, _l10(1.9, -2)),
+        PaperRow("StoInv", "3DWalk", "(100,100,100)", _l10(4.83, -281), _l10(1.0, -3230), None, _l10(4.4, -17)),
+        PaperRow("StoInv", "3DWalk", "(100,150,200)", _l10(6.66, -221), _l10(1.0, -2538), None, _l10(2.9, -9)),
+        PaperRow("StoInv", "3DWalk", "(300,100,150)", _l10(7.86, -181), _l10(1.0, -2076), None, _l10(1.3, -7)),
+        PaperRow("StoInv", "Race", "(40,0)", _l10(9.08, -4), _l10(1.52, -7), None, None),
+        PaperRow("StoInv", "Race", "(35,0)", _l10(6.84, -3), _l10(2.16, -5), None, None),
+        PaperRow("StoInv", "Race", "(45,0)", _l10(6.65, -5), _l10(8.65, -11), None, None),
+    ]
+}
+
+TABLE2: Dict[Tuple[str, str], PaperRow] = {
+    (row.benchmark, row.param_label): row
+    for row in [
+        PaperRow("Hardware", "M1DWalk", "p=1e-7", sec6_log10=math.log10(0.999984)),
+        PaperRow("Hardware", "M1DWalk", "p=1e-5", sec6_log10=math.log10(0.998401)),
+        PaperRow("Hardware", "M1DWalk", "p=1e-4", sec6_log10=math.log10(0.984126)),
+        PaperRow("Hardware", "Newton", "p=5e-4", sec6_log10=math.log10(0.728492)),
+        PaperRow("Hardware", "Newton", "p=1e-3", sec6_log10=math.log10(0.534989)),
+        PaperRow("Hardware", "Newton", "p=1.5e-3", sec6_log10=math.log10(0.392823)),
+        PaperRow(
+            "Hardware",
+            "Ref",
+            "p=1e-7",
+            sec6_log10=math.log10(0.998463),
+            previous_log10=math.log10(0.994885),  # the better of [5] and [41]
+        ),
+        PaperRow("Hardware", "Ref", "p=1e-6", sec6_log10=math.log10(0.984738)),
+        PaperRow("Hardware", "Ref", "p=1e-5", sec6_log10=math.log10(0.857443)),
+    ]
+}

@@ -1,0 +1,101 @@
+"""Regeneration of Table 2 (lower bounds via ExpLowSyn, Section 6)."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import exp_low_syn
+from repro.programs import get_benchmark
+from repro.experiments.reference import TABLE2, PaperRow, ln_to_log10, log10_to_ln
+
+__all__ = ["Table2Row", "TABLE2_SPECS", "run_row2", "run_table2", "format_table2"]
+
+
+@dataclass
+class Table2Row:
+    """One computed row of Table 2 (lower bounds as natural logs)."""
+
+    family: str
+    benchmark: str
+    param_label: str
+    sec6_ln: Optional[float] = None
+    sec6_seconds: float = 0.0
+    paper: Optional[PaperRow] = None
+    error: str = ""
+
+    @property
+    def bound(self) -> Optional[float]:
+        return None if self.sec6_ln is None else math.exp(self.sec6_ln)
+
+    @property
+    def failure_ratio_vs_paper(self) -> Optional[float]:
+        """``(1 - paper) / (1 - ours)`` — the paper's Table 2 ratio style."""
+        if self.paper is None or self.paper.sec6_log10 is None or self.bound is None:
+            return None
+        paper_bound = 10.0 ** self.paper.sec6_log10
+        ours = self.bound
+        if ours >= 1.0:
+            return None
+        return (1.0 - paper_bound) / (1.0 - ours)
+
+
+TABLE2_SPECS: List[Tuple[str, Dict, str]] = [
+    ("M1DWalk", dict(p="1e-7"), "p=1e-7"),
+    ("M1DWalk", dict(p="1e-5"), "p=1e-5"),
+    ("M1DWalk", dict(p="1e-4"), "p=1e-4"),
+    ("Newton", dict(p="5e-4"), "p=5e-4"),
+    ("Newton", dict(p="1e-3"), "p=1e-3"),
+    ("Newton", dict(p="1.5e-3"), "p=1.5e-3"),
+    ("Ref", dict(p="1e-7"), "p=1e-7"),
+    ("Ref", dict(p="1e-6"), "p=1e-6"),
+    ("Ref", dict(p="1e-5"), "p=1e-5"),
+]
+
+
+def run_row2(name: str, kwargs: Dict, param_label: str) -> Table2Row:
+    """Compute one Table 2 row."""
+    instance = get_benchmark(name, **kwargs)
+    row = Table2Row(
+        family=instance.family,
+        benchmark=name,
+        param_label=param_label,
+        paper=TABLE2.get((name, param_label)),
+    )
+    start = time.perf_counter()
+    try:
+        cert = exp_low_syn(instance.pts, instance.invariants)
+        row.sec6_ln = cert.log_bound
+    except Exception as exc:
+        row.error = str(exc)
+    row.sec6_seconds = time.perf_counter() - start
+    return row
+
+
+def run_table2() -> List[Table2Row]:
+    """Compute all Table 2 rows."""
+    return [run_row2(name, kwargs, label) for name, kwargs, label in TABLE2_SPECS]
+
+
+def format_table2(rows: Sequence[Table2Row]) -> str:
+    """Render computed rows next to the paper's numbers."""
+    header = (
+        f"{'benchmark':<10} {'params':<10} {'lower-bound':>12} "
+        f"{'paper':>12} {'time(s)':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        paper_val = (
+            "-"
+            if r.paper is None or r.paper.sec6_log10 is None
+            else f"{10.0 ** r.paper.sec6_log10:.6f}"
+        )
+        ours = "-" if r.bound is None else f"{r.bound:.6f}"
+        lines.append(
+            f"{r.benchmark:<10} {r.param_label:<10} {ours:>12} "
+            f"{paper_val:>12} {r.sec6_seconds:>8.2f}"
+            + (f"   ! {r.error}" if r.error else "")
+        )
+    return "\n".join(lines)

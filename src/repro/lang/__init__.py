@@ -1,0 +1,26 @@
+"""Probabilistic surface language: lexer, parser, AST, compiler to PTS."""
+
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty, render_expr, render_bool
+from repro.lang.compiler import (
+    CompilationResult,
+    compile_program,
+    compile_source,
+    split_cells,
+    bool_to_polyhedron,
+)
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "parse_program",
+    "CompilationResult",
+    "compile_program",
+    "compile_source",
+    "split_cells",
+    "bool_to_polyhedron",
+    "pretty",
+    "render_expr",
+    "render_bool",
+]

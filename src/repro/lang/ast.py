@@ -1,0 +1,264 @@
+"""Abstract syntax for the probabilistic surface language.
+
+Arithmetic is lowered to exact :class:`~repro.polyhedra.linexpr.LinExpr`
+during parsing (the language is affine by construction — non-affine products
+are rejected at parse time), so the AST only distinguishes statement shapes
+and boolean structure.
+
+Boolean expressions keep their atom structure (with strictness flags) so the
+compiler can build *disjoint* guard cells with the closed-complement
+convention documented in :mod:`repro.lang.compiler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.polyhedra.linexpr import LinExpr
+from repro.pts.distributions import Distribution
+
+__all__ = [
+    "Atom",
+    "BoolConst",
+    "And",
+    "Or",
+    "Not",
+    "BoolExpr",
+    "Assign",
+    "While",
+    "If",
+    "ProbIf",
+    "Switch",
+    "Assert",
+    "Exit",
+    "Skip",
+    "SampleDecl",
+    "Statement",
+    "Program",
+]
+
+
+# ---------------------------------------------------------------------------
+# boolean expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Atom:
+    """The comparison ``expr <= 0`` (``strict``: ``expr < 0``)."""
+
+    expr: LinExpr
+    strict: bool = False
+
+    def negate(self) -> "Atom":
+        """Logical complement: ``not (e <= 0)`` is ``-e < 0`` and vice versa."""
+        return Atom(-self.expr, not self.strict)
+
+    def __str__(self) -> str:
+        return f"{self.expr} {'<' if self.strict else '<='} 0"
+
+
+@dataclass(frozen=True)
+class BoolConst:
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class And:
+    operands: Tuple["BoolExpr", ...]
+
+    def __str__(self) -> str:
+        return "(" + " and ".join(map(str, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class Or:
+    operands: Tuple["BoolExpr", ...]
+
+    def __str__(self) -> str:
+        return "(" + " or ".join(map(str, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "BoolExpr"
+
+    def __str__(self) -> str:
+        return f"(not {self.operand})"
+
+
+BoolExpr = Union[Atom, BoolConst, And, Or, Not]
+
+
+def negate(expr: BoolExpr) -> BoolExpr:
+    """Push a negation one level (De Morgan); atoms flip exactly."""
+    if isinstance(expr, Atom):
+        return expr.negate()
+    if isinstance(expr, BoolConst):
+        return BoolConst(not expr.value)
+    if isinstance(expr, And):
+        return Or(tuple(negate(o) for o in expr.operands))
+    if isinstance(expr, Or):
+        return And(tuple(negate(o) for o in expr.operands))
+    if isinstance(expr, Not):
+        return expr.operand
+    raise TypeError(f"not a boolean expression: {expr!r}")
+
+
+def atoms_of(expr: BoolExpr) -> List[Atom]:
+    """All distinct atoms appearing in ``expr``, in first-occurrence order."""
+    out: List[Atom] = []
+
+    def walk(e: BoolExpr) -> None:
+        if isinstance(e, Atom):
+            if e not in out and e.negate() not in out:
+                out.append(e)
+        elif isinstance(e, (And, Or)):
+            for o in e.operands:
+                walk(o)
+        elif isinstance(e, Not):
+            walk(e.operand)
+
+    walk(expr)
+    return out
+
+
+def evaluate_bool(expr: BoolExpr, valuation) -> bool:
+    """Evaluate under an exact valuation (strictness honored)."""
+    if isinstance(expr, Atom):
+        v = expr.expr.evaluate(valuation)
+        return v < 0 if expr.strict else v <= 0
+    if isinstance(expr, BoolConst):
+        return expr.value
+    if isinstance(expr, And):
+        return all(evaluate_bool(o, valuation) for o in expr.operands)
+    if isinstance(expr, Or):
+        return any(evaluate_bool(o, valuation) for o in expr.operands)
+    if isinstance(expr, Not):
+        return not evaluate_bool(expr.operand, valuation)
+    raise TypeError(f"not a boolean expression: {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Assign:
+    """Simultaneous assignment ``x1, ..., xk := e1, ..., ek``."""
+
+    targets: Tuple[str, ...]
+    values: Tuple[LinExpr, ...]
+    line: int = 0
+
+
+@dataclass
+class While:
+    """``while cond [invariant inv]: body``."""
+
+    cond: BoolExpr
+    body: List["Statement"]
+    invariant: Optional[BoolExpr] = None
+    line: int = 0
+
+
+@dataclass
+class If:
+    """Deterministic branch ``if cond: then else: orelse``."""
+
+    cond: BoolExpr
+    then: List["Statement"]
+    orelse: List["Statement"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class ProbIf:
+    """Probabilistic branch ``if prob(p): then else: orelse``."""
+
+    prob: Fraction
+    then: List["Statement"]
+    orelse: List["Statement"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Switch:
+    """``switch:`` with ``prob(p_i):`` arms; probabilities sum to 1."""
+
+    arms: List[Tuple[Fraction, List["Statement"]]]
+    line: int = 0
+
+
+@dataclass
+class Assert:
+    """``assert cond`` — jumps to the failure sink when ``cond`` is false."""
+
+    cond: BoolExpr
+    line: int = 0
+
+
+@dataclass
+class Exit:
+    """``exit`` — jump straight to normal termination."""
+
+    line: int = 0
+
+
+@dataclass
+class Skip:
+    """``skip`` — no-op."""
+
+    line: int = 0
+
+
+@dataclass
+class SampleDecl:
+    """``r ~ distribution(...)`` — declares a sampling variable."""
+
+    name: str
+    distribution: Distribution
+    line: int = 0
+
+
+Statement = Union[Assign, While, If, ProbIf, Switch, Assert, Exit, Skip, SampleDecl]
+
+
+@dataclass
+class Program:
+    """A parsed program: top-level statements plus constant bindings."""
+
+    body: List[Statement]
+    constants: dict = field(default_factory=dict)  # name -> Fraction
+
+    def variables(self) -> Tuple[str, ...]:
+        """All program variables (assignment targets), in first-use order."""
+        seen: List[str] = []
+
+        def walk(stmts: Sequence[Statement]) -> None:
+            for s in stmts:
+                if isinstance(s, Assign):
+                    for t in s.targets:
+                        if t not in seen:
+                            seen.append(t)
+                elif isinstance(s, While):
+                    walk(s.body)
+                elif isinstance(s, (If, ProbIf)):
+                    walk(s.then)
+                    walk(s.orelse)
+                elif isinstance(s, Switch):
+                    for _, arm in s.arms:
+                        walk(arm)
+
+        walk(self.body)
+        return tuple(seen)
+
+    def sampling_declarations(self) -> List[SampleDecl]:
+        """All sampling-variable declarations (top level only)."""
+        return [s for s in self.body if isinstance(s, SampleDecl)]

@@ -1,0 +1,158 @@
+"""Tokenizer for the probabilistic surface language.
+
+The language is indentation-structured (like Python): the lexer emits
+``INDENT``/``DEDENT`` tokens from leading whitespace, ``NEWLINE`` at logical
+line ends, and skips blank lines and ``#`` comments.  Statements may also be
+separated by ``;`` on one line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import ParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "while",
+        "if",
+        "else",
+        "switch",
+        "prob",
+        "assert",
+        "exit",
+        "skip",
+        "and",
+        "or",
+        "not",
+        "true",
+        "false",
+        "const",
+        "invariant",
+        "uniform",
+        "normal",
+        "discrete",
+        "bernoulli",
+    }
+)
+
+# multi-character operators first so maximal munch works
+_OPERATORS = [
+    ":=",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "(",
+    ")",
+    ",",
+    ":",
+    ";",
+    "~",
+    "=",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with source position (1-based)."""
+
+    kind: str  # NAME, NUMBER, KEYWORD, OP, NEWLINE, INDENT, DEDENT, EOF
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def _lex_line(line: str, lineno: int, tokens: List[Token]) -> None:
+    i = 0
+    n = len(line)
+    while i < n:
+        ch = line[i]
+        if ch in " \t":
+            i += 1
+            continue
+        if ch == "#":
+            return
+        if ch.isdigit() or (ch == "." and i + 1 < n and line[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (line[j].isdigit() or (line[j] == "." and not seen_dot)):
+                if line[j] == ".":
+                    seen_dot = True
+                j += 1
+            # exponent part: 1e-7, 2.5E+3
+            if j < n and line[j] in "eE":
+                k = j + 1
+                if k < n and line[k] in "+-":
+                    k += 1
+                if k < n and line[k].isdigit():
+                    while k < n and line[k].isdigit():
+                        k += 1
+                    j = k
+            tokens.append(Token("NUMBER", line[i:j], lineno, i + 1))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (line[j].isalnum() or line[j] == "_"):
+                j += 1
+            word = line[i:j]
+            kind = "KEYWORD" if word in KEYWORDS else "NAME"
+            tokens.append(Token(kind, word, lineno, i + 1))
+            i = j
+            continue
+        for op in _OPERATORS:
+            if line.startswith(op, i):
+                tokens.append(Token("OP", op, lineno, i + 1))
+                i += len(op)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", lineno, i + 1)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` into a flat token list ending with EOF.
+
+    Raises :class:`ParseError` on unknown characters or inconsistent
+    indentation.
+    """
+    tokens: List[Token] = []
+    indents = [0]
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        stripped = raw.split("#", 1)[0].rstrip()
+        if not stripped.strip():
+            continue  # blank or comment-only line
+        indent = len(raw) - len(raw.lstrip(" \t"))
+        if "\t" in raw[:indent]:
+            # normalize tabs to 8 columns for indent comparison
+            prefix = raw[: len(raw) - len(raw.lstrip(" \t"))]
+            indent = len(prefix.expandtabs(8))
+        if indent > indents[-1]:
+            indents.append(indent)
+            tokens.append(Token("INDENT", "", lineno, 1))
+        else:
+            while indent < indents[-1]:
+                indents.pop()
+                tokens.append(Token("DEDENT", "", lineno, 1))
+            if indent != indents[-1]:
+                raise ParseError("inconsistent dedent", lineno, indent + 1)
+        _lex_line(stripped, lineno, tokens)
+        tokens.append(Token("NEWLINE", "", lineno, len(stripped) + 1))
+    last_line = source.count("\n") + 1
+    while len(indents) > 1:
+        indents.pop()
+        tokens.append(Token("DEDENT", "", last_line, 1))
+    tokens.append(Token("EOF", "", last_line, 1))
+    return tokens

@@ -1,0 +1,412 @@
+"""Recursive-descent parser for the probabilistic surface language.
+
+Grammar (indentation-structured; ``[...]`` optional, ``{...}`` repetition)::
+
+    program   : { statement }
+    statement : assign | sample | constdecl | while | if | switch
+              | assert | 'exit' | 'skip'
+    assign    : namelist (':=' | '=') exprlist
+    sample    : NAME '~' dist
+    constdecl : 'const' NAME '=' numexpr
+    dist      : 'uniform' '(' numexpr ',' numexpr ')'
+              | 'bernoulli' '(' numexpr ')'
+              | 'normal' '(' numexpr ',' numexpr ')'
+              | 'discrete' '(' pair { ',' pair } ')'       pair: '(' p ',' v ')'
+    while     : 'while' bool [ 'invariant' bool ] ':' suite
+    if        : 'if' 'prob' '(' numexpr ')' ':' suite [ 'else' ':' suite ]
+              | 'if' bool ':' suite [ 'else' ':' suite ]
+    switch    : 'switch' ':' NEWLINE INDENT { 'prob' '(' numexpr ')' ':' suite } DEDENT
+    assert    : 'assert' bool
+    suite     : simple { ';' simple } NEWLINE            (single-line body)
+              | NEWLINE INDENT { statement } DEDENT
+    bool      : boolterm { 'or' boolterm }
+    boolterm  : boolfactor { 'and' boolfactor }
+    boolfactor: 'not' boolfactor | 'true' | 'false'
+              | '(' bool ')' | expr cmp expr              cmp: <= < >= > == !=
+    expr      : affine arithmetic over NAME/NUMBER with + - * / ( )
+
+Arithmetic is affine by construction: products need a constant factor and
+divisors must be constants.  Names bound by ``const`` fold to numbers
+everywhere, including probabilities.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.lexer import Token, tokenize
+from repro.polyhedra.linexpr import LinExpr
+from repro.pts.distributions import (
+    DiscreteDistribution,
+    Distribution,
+    NormalDistribution,
+    UniformDistribution,
+    bernoulli,
+)
+from repro.utils.numbers import as_fraction
+
+__all__ = ["parse_program"]
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self.constants: Dict[str, Fraction] = {}
+
+    # -- token plumbing -----------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if not self.check(kind, text):
+            want = text or kind
+            raise ParseError(f"expected {want!r}, found {tok.text or tok.kind!r}", tok.line, tok.column)
+        return self.advance()
+
+    def error(self, message: str) -> ParseError:
+        tok = self.peek()
+        return ParseError(message, tok.line, tok.column)
+
+    # -- program / statements ---------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        body: List[ast.Statement] = []
+        while not self.check("EOF"):
+            body.append(self.parse_statement())
+        return ast.Program(body, constants=dict(self.constants))
+
+    def parse_statement(self) -> ast.Statement:
+        tok = self.peek()
+        if tok.kind == "KEYWORD":
+            handler = {
+                "while": self.parse_while,
+                "if": self.parse_if,
+                "switch": self.parse_switch,
+                "assert": self.parse_assert,
+                "exit": self.parse_exit,
+                "skip": self.parse_skip,
+                "const": self.parse_const,
+            }.get(tok.text)
+            if handler is None:
+                raise self.error(f"unexpected keyword {tok.text!r}")
+            return handler()
+        if tok.kind == "NAME":
+            if self.peek(1).kind == "OP" and self.peek(1).text == "~":
+                return self.parse_sample_decl()
+            return self.parse_assign()
+        raise self.error(f"unexpected token {tok.text or tok.kind!r}")
+
+    def parse_simple_statement(self) -> ast.Statement:
+        """A statement allowed on a single-line suite (no nested blocks)."""
+        tok = self.peek()
+        if tok.kind == "KEYWORD" and tok.text in ("assert", "exit", "skip"):
+            return self.parse_statement_headless()
+        if tok.kind == "NAME":
+            return self.parse_assign(consume_newline=False)
+        raise self.error("only assignments, assert, exit and skip may appear on a suite line")
+
+    def parse_statement_headless(self) -> ast.Statement:
+        tok = self.peek()
+        if tok.text == "assert":
+            self.advance()
+            cond = self.parse_bool()
+            return ast.Assert(cond, line=tok.line)
+        if tok.text == "exit":
+            self.advance()
+            return ast.Exit(line=tok.line)
+        if tok.text == "skip":
+            self.advance()
+            return ast.Skip(line=tok.line)
+        raise self.error(f"unexpected {tok.text!r}")
+
+    def parse_assign(self, consume_newline: bool = True) -> ast.Assign:
+        first = self.expect("NAME")
+        targets = [first.text]
+        while self.accept("OP", ","):
+            targets.append(self.expect("NAME").text)
+        if not (self.accept("OP", ":=") or self.accept("OP", "=")):
+            raise self.error("expected ':=' in assignment")
+        values = [self.parse_expr()]
+        while self.accept("OP", ","):
+            values.append(self.parse_expr())
+        if len(values) != len(targets):
+            raise ParseError(
+                f"assignment arity mismatch: {len(targets)} targets, {len(values)} values",
+                first.line,
+                first.column,
+            )
+        if len(set(targets)) != len(targets):
+            raise ParseError("duplicate assignment target", first.line, first.column)
+        if consume_newline:
+            self.expect("NEWLINE")
+        return ast.Assign(tuple(targets), tuple(values), line=first.line)
+
+    def parse_sample_decl(self) -> ast.SampleDecl:
+        name_tok = self.expect("NAME")
+        self.expect("OP", "~")
+        dist = self.parse_distribution()
+        self.expect("NEWLINE")
+        return ast.SampleDecl(name_tok.text, dist, line=name_tok.line)
+
+    def parse_distribution(self) -> Distribution:
+        tok = self.peek()
+        if tok.kind != "KEYWORD" or tok.text not in ("uniform", "bernoulli", "normal", "discrete"):
+            raise self.error("expected a distribution (uniform/bernoulli/normal/discrete)")
+        self.advance()
+        self.expect("OP", "(")
+        if tok.text == "uniform":
+            lo = self.parse_numexpr()
+            self.expect("OP", ",")
+            hi = self.parse_numexpr()
+            self.expect("OP", ")")
+            return UniformDistribution(lo, hi)
+        if tok.text == "bernoulli":
+            p = self.parse_numexpr()
+            self.expect("OP", ")")
+            return bernoulli(p)
+        if tok.text == "normal":
+            mu = self.parse_numexpr()
+            self.expect("OP", ",")
+            sigma = self.parse_numexpr()
+            self.expect("OP", ")")
+            return NormalDistribution(mu, sigma)
+        pairs: List[Tuple[Fraction, Fraction]] = []
+        while True:
+            self.expect("OP", "(")
+            p = self.parse_numexpr()
+            self.expect("OP", ",")
+            v = self.parse_numexpr()
+            self.expect("OP", ")")
+            pairs.append((p, v))
+            if not self.accept("OP", ","):
+                break
+        self.expect("OP", ")")
+        return DiscreteDistribution(pairs)
+
+    def parse_const(self) -> ast.Statement:
+        tok = self.expect("KEYWORD", "const")
+        name = self.expect("NAME").text
+        if not (self.accept("OP", "=") or self.accept("OP", ":=")):
+            raise self.error("expected '=' in const declaration")
+        value = self.parse_numexpr()
+        self.expect("NEWLINE")
+        self.constants[name] = value
+        return ast.Skip(line=tok.line)
+
+    def parse_while(self) -> ast.While:
+        tok = self.expect("KEYWORD", "while")
+        cond = self.parse_bool()
+        invariant = None
+        if self.accept("KEYWORD", "invariant"):
+            invariant = self.parse_bool()
+        body = self.parse_suite()
+        return ast.While(cond, body, invariant=invariant, line=tok.line)
+
+    def parse_if(self) -> ast.Statement:
+        tok = self.expect("KEYWORD", "if")
+        if self.check("KEYWORD", "prob"):
+            self.advance()
+            self.expect("OP", "(")
+            p = self.parse_numexpr()
+            self.expect("OP", ")")
+            then = self.parse_suite()
+            orelse: List[ast.Statement] = []
+            if self.accept("KEYWORD", "else"):
+                orelse = self.parse_suite()
+            return ast.ProbIf(p, then, orelse, line=tok.line)
+        cond = self.parse_bool()
+        then = self.parse_suite()
+        orelse = []
+        if self.accept("KEYWORD", "else"):
+            orelse = self.parse_suite()
+        return ast.If(cond, then, orelse, line=tok.line)
+
+    def parse_switch(self) -> ast.Switch:
+        tok = self.expect("KEYWORD", "switch")
+        self.expect("OP", ":")
+        self.expect("NEWLINE")
+        self.expect("INDENT")
+        arms: List[Tuple[Fraction, List[ast.Statement]]] = []
+        while self.check("KEYWORD", "prob"):
+            self.advance()
+            self.expect("OP", "(")
+            p = self.parse_numexpr()
+            self.expect("OP", ")")
+            arms.append((p, self.parse_suite()))
+        self.expect("DEDENT")
+        if not arms:
+            raise ParseError("switch needs at least one prob(...) arm", tok.line, tok.column)
+        total = sum((p for p, _ in arms), Fraction(0))
+        if total != 1:
+            raise ParseError(f"switch arm probabilities sum to {total}, not 1", tok.line, tok.column)
+        return ast.Switch(arms, line=tok.line)
+
+    def parse_assert(self) -> ast.Assert:
+        tok = self.expect("KEYWORD", "assert")
+        cond = self.parse_bool()
+        self.expect("NEWLINE")
+        return ast.Assert(cond, line=tok.line)
+
+    def parse_exit(self) -> ast.Exit:
+        tok = self.expect("KEYWORD", "exit")
+        self.expect("NEWLINE")
+        return ast.Exit(line=tok.line)
+
+    def parse_skip(self) -> ast.Skip:
+        tok = self.expect("KEYWORD", "skip")
+        self.expect("NEWLINE")
+        return ast.Skip(line=tok.line)
+
+    def parse_suite(self) -> List[ast.Statement]:
+        self.expect("OP", ":")
+        if self.accept("NEWLINE"):
+            self.expect("INDENT")
+            body: List[ast.Statement] = []
+            while not self.check("DEDENT"):
+                body.append(self.parse_statement())
+            self.expect("DEDENT")
+            return body
+        # single-line suite: simple statements separated by ';'
+        body = [self.parse_simple_statement()]
+        while self.accept("OP", ";"):
+            body.append(self.parse_simple_statement())
+        self.expect("NEWLINE")
+        return body
+
+    # -- expressions ------------------------------------------------------------------
+    def parse_numexpr(self) -> Fraction:
+        """A constant arithmetic expression (probabilities, dist parameters)."""
+        expr = self.parse_expr()
+        if not expr.is_constant:
+            raise self.error("expected a constant expression")
+        return expr.const
+
+    def parse_expr(self) -> LinExpr:
+        left = self.parse_term()
+        while True:
+            if self.accept("OP", "+"):
+                left = left + self.parse_term()
+            elif self.accept("OP", "-"):
+                left = left - self.parse_term()
+            else:
+                return left
+
+    def parse_term(self) -> LinExpr:
+        left = self.parse_factor()
+        while True:
+            if self.accept("OP", "*"):
+                right = self.parse_factor()
+                if left.is_constant:
+                    left = right * left.const
+                elif right.is_constant:
+                    left = left * right.const
+                else:
+                    raise self.error("non-affine product of two variables")
+            elif self.accept("OP", "/"):
+                right = self.parse_factor()
+                if not right.is_constant:
+                    raise self.error("division by a non-constant")
+                if right.const == 0:
+                    raise self.error("division by zero")
+                left = left / right.const
+            else:
+                return left
+
+    def parse_factor(self) -> LinExpr:
+        if self.accept("OP", "-"):
+            return -self.parse_factor()
+        if self.accept("OP", "+"):
+            return self.parse_factor()
+        tok = self.peek()
+        if tok.kind == "NUMBER":
+            self.advance()
+            return LinExpr.constant(as_fraction(tok.text if ("." in tok.text or "e" in tok.text or "E" in tok.text) else int(tok.text)))
+        if tok.kind == "NAME":
+            self.advance()
+            if tok.text in self.constants:
+                return LinExpr.constant(self.constants[tok.text])
+            return LinExpr.variable(tok.text)
+        if self.accept("OP", "("):
+            inner = self.parse_expr()
+            self.expect("OP", ")")
+            return inner
+        raise self.error(f"unexpected token {tok.text or tok.kind!r} in expression")
+
+    # -- boolean expressions -------------------------------------------------------------
+    def parse_bool(self) -> ast.BoolExpr:
+        left = self.parse_bool_term()
+        terms = [left]
+        while self.accept("KEYWORD", "or"):
+            terms.append(self.parse_bool_term())
+        return terms[0] if len(terms) == 1 else ast.Or(tuple(terms))
+
+    def parse_bool_term(self) -> ast.BoolExpr:
+        factors = [self.parse_bool_factor()]
+        while self.accept("KEYWORD", "and"):
+            factors.append(self.parse_bool_factor())
+        return factors[0] if len(factors) == 1 else ast.And(tuple(factors))
+
+    def parse_bool_factor(self) -> ast.BoolExpr:
+        if self.accept("KEYWORD", "not"):
+            return ast.Not(self.parse_bool_factor())
+        if self.accept("KEYWORD", "true"):
+            return ast.BoolConst(True)
+        if self.accept("KEYWORD", "false"):
+            return ast.BoolConst(False)
+        if self.check("OP", "("):
+            # ambiguous: parenthesized boolean or arithmetic subexpression.
+            saved = self.pos
+            try:
+                return self.parse_comparison()
+            except ParseError:
+                self.pos = saved
+            self.expect("OP", "(")
+            inner = self.parse_bool()
+            self.expect("OP", ")")
+            return inner
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> ast.BoolExpr:
+        left = self.parse_expr()
+        tok = self.peek()
+        ops = {"<=", "<", ">=", ">", "==", "!="}
+        if tok.kind != "OP" or tok.text not in ops:
+            raise self.error("expected a comparison operator")
+        self.advance()
+        right = self.parse_expr()
+        diff = left - right
+        if tok.text == "<=":
+            return ast.Atom(diff)
+        if tok.text == "<":
+            return ast.Atom(diff, strict=True)
+        if tok.text == ">=":
+            return ast.Atom(-diff)
+        if tok.text == ">":
+            return ast.Atom(-diff, strict=True)
+        if tok.text == "==":
+            return ast.And((ast.Atom(diff), ast.Atom(-diff)))
+        return ast.Or((ast.Atom(diff, strict=True), ast.Atom(-diff, strict=True)))
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse source text into a :class:`~repro.lang.ast.Program`."""
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,149 @@
+"""Pretty-printer: AST back to surface syntax.
+
+``pretty(parse_program(src))`` re-parses to an equivalent program (the
+round-trip property is tested), which makes compiled benchmarks and
+programmatically assembled ASTs inspectable and diffable.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from repro.lang import ast
+from repro.polyhedra.linexpr import LinExpr
+from repro.pts.distributions import (
+    DiscreteDistribution,
+    Distribution,
+    NormalDistribution,
+    PointMass,
+    UniformDistribution,
+)
+
+__all__ = ["pretty", "render_expr", "render_bool"]
+
+INDENT = "    "
+
+
+def _frac(value: Fraction) -> str:
+    if value.denominator == 1:
+        return str(value.numerator)
+    return f"{value.numerator}/{value.denominator}"
+
+
+def render_expr(expr: LinExpr) -> str:
+    """An affine expression in surface syntax."""
+    parts: List[str] = []
+    for name in sorted(expr.coeffs):
+        coeff = expr.coeffs[name]
+        if coeff == 1:
+            term = name
+        elif coeff == -1:
+            term = f"-{name}"
+        elif coeff.denominator == 1:
+            term = f"{coeff.numerator} * {name}"
+        else:
+            term = f"{name} * {coeff.numerator} / {coeff.denominator}"
+        if parts:
+            parts.append(f"+ {term}" if not term.startswith("-") else f"- {term[1:]}")
+        else:
+            parts.append(term)
+    if expr.const != 0 or not parts:
+        c = expr.const
+        if parts:
+            parts.append(f"+ {_frac(c)}" if c > 0 else f"- {_frac(-c)}")
+        else:
+            parts.append(_frac(c))
+    return " ".join(parts)
+
+
+def render_bool(cond: ast.BoolExpr) -> str:
+    """A boolean condition in surface syntax."""
+    if isinstance(cond, ast.Atom):
+        op = "<" if cond.strict else "<="
+        # e <= 0 rendered as (positive side) <= (negative side) when possible
+        return f"{render_expr(cond.expr)} {op} 0"
+    if isinstance(cond, ast.BoolConst):
+        return "true" if cond.value else "false"
+    if isinstance(cond, ast.And):
+        return " and ".join(_paren(o) for o in cond.operands)
+    if isinstance(cond, ast.Or):
+        return " or ".join(_paren(o) for o in cond.operands)
+    if isinstance(cond, ast.Not):
+        return f"not {_paren(cond.operand)}"
+    raise TypeError(f"not a boolean expression: {cond!r}")
+
+
+def _paren(cond: ast.BoolExpr) -> str:
+    text = render_bool(cond)
+    if isinstance(cond, (ast.And, ast.Or)):
+        return f"({text})"
+    return text
+
+
+def _render_dist(dist: Distribution) -> str:
+    if isinstance(dist, UniformDistribution):
+        return f"uniform({_frac(dist.lo)}, {_frac(dist.hi)})"
+    if isinstance(dist, NormalDistribution):
+        return f"normal({_frac(dist.mu)}, {_frac(dist.sigma)})"
+    if isinstance(dist, PointMass):
+        return f"discrete((1, {_frac(dist.value)}))"
+    if isinstance(dist, DiscreteDistribution):
+        pairs = ", ".join(f"({_frac(p)}, {_frac(v)})" for p, v in dist.atoms())
+        return f"discrete({pairs})"
+    raise TypeError(f"unknown distribution {dist!r}")
+
+
+def _emit(stmt: ast.Statement, lines: List[str], depth: int) -> None:
+    pad = INDENT * depth
+    if isinstance(stmt, ast.Assign):
+        targets = ", ".join(stmt.targets)
+        values = ", ".join(render_expr(v) for v in stmt.values)
+        lines.append(f"{pad}{targets} := {values}")
+    elif isinstance(stmt, ast.Skip):
+        lines.append(f"{pad}skip")
+    elif isinstance(stmt, ast.Exit):
+        lines.append(f"{pad}exit")
+    elif isinstance(stmt, ast.Assert):
+        lines.append(f"{pad}assert {render_bool(stmt.cond)}")
+    elif isinstance(stmt, ast.SampleDecl):
+        lines.append(f"{pad}{stmt.name} ~ {_render_dist(stmt.distribution)}")
+    elif isinstance(stmt, ast.While):
+        inv = f" invariant {render_bool(stmt.invariant)}" if stmt.invariant else ""
+        lines.append(f"{pad}while {render_bool(stmt.cond)}{inv}:")
+        _emit_block(stmt.body, lines, depth + 1)
+    elif isinstance(stmt, ast.If):
+        lines.append(f"{pad}if {render_bool(stmt.cond)}:")
+        _emit_block(stmt.then, lines, depth + 1)
+        if stmt.orelse:
+            lines.append(f"{pad}else:")
+            _emit_block(stmt.orelse, lines, depth + 1)
+    elif isinstance(stmt, ast.ProbIf):
+        lines.append(f"{pad}if prob({_frac(stmt.prob)}):")
+        _emit_block(stmt.then, lines, depth + 1)
+        if stmt.orelse:
+            lines.append(f"{pad}else:")
+            _emit_block(stmt.orelse, lines, depth + 1)
+    elif isinstance(stmt, ast.Switch):
+        lines.append(f"{pad}switch:")
+        for p, arm in stmt.arms:
+            lines.append(f"{pad}{INDENT}prob({_frac(p)}):")
+            _emit_block(arm, lines, depth + 2)
+    else:  # pragma: no cover
+        raise TypeError(f"unknown statement {stmt!r}")
+
+
+def _emit_block(stmts: List[ast.Statement], lines: List[str], depth: int) -> None:
+    if not stmts:
+        lines.append(f"{INDENT * depth}skip")
+        return
+    for s in stmts:
+        _emit(s, lines, depth)
+
+
+def pretty(program: ast.Program) -> str:
+    """Render a program back to parseable surface syntax."""
+    lines: List[str] = []
+    for stmt in program.body:
+        _emit(stmt, lines, 0)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,5 @@
+"""Numeric solver layer: LP (HiGHS), convex optimization, bilinear search."""
+
+from repro.numeric.lp import LPResult, solve_lp, LinearProgram
+
+__all__ = ["LPResult", "solve_lp", "LinearProgram"]

@@ -1,0 +1,204 @@
+"""Linear-programming front-end over ``scipy.optimize.linprog`` (HiGHS).
+
+Two interfaces are provided:
+
+* a low-level matrix interface (:func:`solve_lp`) used by the polyhedra
+  substrate for emptiness/boundedness queries, and
+* a named-variable interface (:class:`LinearProgram`) used by the synthesis
+  algorithms, which assemble constraints symbolically as
+  :class:`~repro.polyhedra.linexpr.LinExpr` objects over unknown coefficients
+  and Farkas multipliers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import InfeasibleError, SolverError
+from repro.polyhedra.linexpr import LinExpr
+
+__all__ = ["LPResult", "solve_lp", "LinearProgram"]
+
+
+@dataclass
+class LPResult:
+    """Outcome of an LP solve."""
+
+    status: str  # "optimal" | "infeasible" | "unbounded"
+    x: Optional[np.ndarray] = None
+    objective: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        """True iff an optimal solution was found."""
+        return self.status == "optimal"
+
+
+_STATUS = {0: "optimal", 1: "iteration-limit", 2: "infeasible", 3: "unbounded", 4: "numerical"}
+
+
+def solve_lp(
+    c: Sequence[float],
+    a_ub: Optional[Sequence[Sequence[float]]] = None,
+    b_ub: Optional[Sequence[float]] = None,
+    a_eq: Optional[Sequence[Sequence[float]]] = None,
+    b_eq: Optional[Sequence[float]] = None,
+    bounds: Optional[Sequence[Tuple[Optional[float], Optional[float]]]] = None,
+) -> LPResult:
+    """Minimize ``c @ x`` subject to ``a_ub @ x <= b_ub`` and ``a_eq @ x == b_eq``.
+
+    Variables are free by default (unlike ``linprog``'s nonnegative default).
+    """
+    n = len(c)
+    if bounds is None:
+        bounds = [(None, None)] * n
+    res = linprog(
+        c,
+        A_ub=None if a_ub is None or len(a_ub) == 0 else a_ub,
+        b_ub=None if b_ub is None or len(b_ub) == 0 else b_ub,
+        A_eq=None if a_eq is None or len(a_eq) == 0 else a_eq,
+        b_eq=None if b_eq is None or len(b_eq) == 0 else b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    status = _STATUS.get(res.status, "error")
+    if status == "optimal":
+        return LPResult("optimal", np.asarray(res.x, dtype=float), float(res.fun))
+    if status in ("infeasible", "unbounded"):
+        return LPResult(status)
+    raise SolverError(f"linprog failed with status {res.status}: {res.message}")
+
+
+class LinearProgram:
+    """An LP assembled from :class:`LinExpr` constraints over named unknowns.
+
+    Constraints are ``expr <= 0`` or ``expr == 0`` where ``expr`` is affine in
+    the unknowns.  Variables are registered on first use; bounds can be set
+    per variable (default: free).
+    """
+
+    def __init__(self) -> None:
+        self._index: Dict[str, int] = {}
+        self._lower: Dict[str, Optional[float]] = {}
+        self._upper: Dict[str, Optional[float]] = {}
+        self._le_rows: List[Tuple[LinExpr, str]] = []
+        self._eq_rows: List[Tuple[LinExpr, str]] = []
+        self._objective: LinExpr = LinExpr.constant(0)
+
+    # -- model building ---------------------------------------------------------
+    def add_variable(
+        self,
+        name: str,
+        lower: Optional[float] = None,
+        upper: Optional[float] = None,
+    ) -> LinExpr:
+        """Register a variable (idempotent) and return it as a LinExpr."""
+        if name not in self._index:
+            self._index[name] = len(self._index)
+            self._lower[name] = lower
+            self._upper[name] = upper
+        else:
+            if lower is not None:
+                cur = self._lower[name]
+                self._lower[name] = lower if cur is None else max(cur, lower)
+            if upper is not None:
+                cur = self._upper[name]
+                self._upper[name] = upper if cur is None else min(cur, upper)
+        return LinExpr.variable(name)
+
+    def _register(self, expr: LinExpr) -> None:
+        for name in expr.variables():
+            self.add_variable(name)
+
+    def add_le(self, expr: LinExpr, label: str = "") -> None:
+        """Add the constraint ``expr <= 0``."""
+        self._register(expr)
+        self._le_rows.append((expr, label))
+
+    def add_eq(self, expr: LinExpr, label: str = "") -> None:
+        """Add the constraint ``expr == 0``."""
+        self._register(expr)
+        self._eq_rows.append((expr, label))
+
+    def set_objective(self, expr: LinExpr) -> None:
+        """Set the (minimization) objective."""
+        self._register(expr)
+        self._objective = expr
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._index)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._le_rows) + len(self._eq_rows)
+
+    # -- solving ------------------------------------------------------------------
+    def _row(self, expr: LinExpr) -> Tuple[np.ndarray, float]:
+        row = np.zeros(len(self._index))
+        for name, coeff in expr.coeffs.items():
+            row[self._index[name]] = float(coeff)
+        return row, -float(expr.const)
+
+    def solve(self, minimize: Optional[LinExpr] = None) -> Dict[str, float]:
+        """Solve; returns the optimal assignment as ``{name: value}``.
+
+        Raises :class:`InfeasibleError` if infeasible and
+        :class:`SolverError` if unbounded or numerically failed.
+        """
+        if minimize is not None:
+            self.set_objective(minimize)
+        n = len(self._index)
+        c = np.zeros(n)
+        for name, coeff in self._objective.coeffs.items():
+            c[self._index[name]] = float(coeff)
+        a_ub, b_ub = [], []
+        for expr, _ in self._le_rows:
+            row, rhs = self._row(expr)
+            a_ub.append(row)
+            b_ub.append(rhs)
+        a_eq, b_eq = [], []
+        for expr, _ in self._eq_rows:
+            row, rhs = self._row(expr)
+            a_eq.append(row)
+            b_eq.append(rhs)
+        names = sorted(self._index, key=self._index.get)
+        bounds = [(self._lower[name], self._upper[name]) for name in names]
+        result = solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        if result.status == "infeasible":
+            raise InfeasibleError("linear program is infeasible")
+        if result.status == "unbounded":
+            raise SolverError("linear program is unbounded")
+        values = {name: float(result.x[self._index[name]]) for name in names}
+        return values
+
+    def feasible(self) -> bool:
+        """True iff the constraint system admits some solution."""
+        try:
+            self.solve(minimize=LinExpr.constant(0))
+            return True
+        except InfeasibleError:
+            return False
+
+    def check_assignment(self, assignment: Dict[str, float], tol: float = 1e-7) -> bool:
+        """Verify that ``assignment`` satisfies every constraint within ``tol``."""
+        values = dict(assignment)
+        for expr, _ in self._le_rows:
+            if expr.evaluate_float(values) > tol:
+                return False
+        for expr, _ in self._eq_rows:
+            if abs(expr.evaluate_float(values)) > tol:
+                return False
+        for name, idx in self._index.items():
+            v = values.get(name, 0.0)
+            lo, hi = self._lower[name], self._upper[name]
+            if lo is not None and v < lo - tol:
+                return False
+            if hi is not None and v > hi + tol:
+                return False
+        return True

@@ -1,0 +1,81 @@
+"""The ``Ser`` bilinear search of Appendix C.2.
+
+The HoeffdingSynthesis objective ``8 * eps * omega`` is bilinear (both
+``eps >= 0`` and ``omega <= 0`` are unknowns), so the problem is not an LP.
+The paper proves (Propositions 5/6) that after fixing ``eps`` the optimum
+``f(eps) = 8 * eps * omega_opt(eps)`` is unimodal — strictly decreasing up
+to the unique optimizer and strictly increasing after it — which licenses a
+ternary search over ``eps``, each step solving one LP.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Generic, Optional, Tuple, TypeVar
+
+__all__ = ["SerResult", "ternary_search"]
+
+Payload = TypeVar("Payload")
+
+
+@dataclass
+class SerResult(Generic[Payload]):
+    """Outcome of the ternary search."""
+
+    eps: float
+    value: float
+    payload: Payload
+    evaluations: int
+
+    @property
+    def found(self) -> bool:
+        return math.isfinite(self.value)
+
+
+def ternary_search(
+    f: Callable[[float], Tuple[float, Payload]],
+    lo: float,
+    hi: float,
+    tol: float = 1e-6,
+    max_iters: int = 120,
+) -> SerResult:
+    """Minimize a unimodal ``f`` over ``[lo, hi]``.
+
+    ``f(eps)`` returns ``(value, payload)`` with ``value = +inf`` for
+    infeasible ``eps``.  The search keeps the best evaluated point (so a
+    useful answer survives even if unimodality is broken by LP tolerance)
+    and stops when the bracket is narrower than ``tol`` (absolute).
+    """
+    cache: Dict[float, Tuple[float, Payload]] = {}
+
+    def eval_cached(x: float) -> Tuple[float, Payload]:
+        if x not in cache:
+            cache[x] = f(x)
+        return cache[x]
+
+    best_eps, (best_value, best_payload) = lo, eval_cached(lo)
+    for probe in (hi, 0.5 * (lo + hi)):
+        value, payload = eval_cached(probe)
+        if value < best_value:
+            best_eps, best_value, best_payload = probe, value, payload
+
+    left, right = lo, hi
+    iters = 0
+    while right - left > tol and iters < max_iters:
+        iters += 1
+        m1 = left + (right - left) / 3.0
+        m2 = right - (right - left) / 3.0
+        v1, p1 = eval_cached(m1)
+        v2, p2 = eval_cached(m2)
+        if v1 < best_value:
+            best_eps, best_value, best_payload = m1, v1, p1
+        if v2 < best_value:
+            best_eps, best_value, best_payload = m2, v2, p2
+        if v1 < v2:
+            right = m2
+        else:
+            left = m1
+    return SerResult(
+        eps=best_eps, value=best_value, payload=best_payload, evaluations=len(cache)
+    )

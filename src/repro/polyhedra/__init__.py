@@ -1,0 +1,26 @@
+"""Exact polyhedra substrate: H/V representations, Farkas, Minkowski.
+
+This subpackage replaces the Parma Polyhedra Library used by the paper's
+prototype.  Everything is computed over exact rationals.
+"""
+
+from repro.polyhedra.linexpr import LinExpr, var, const
+from repro.polyhedra.constraints import AffineIneq, Polyhedron
+from repro.polyhedra.dd import GeneratorSet, cone_generators, polyhedron_generators
+from repro.polyhedra.minkowski import MinkowskiDecomposition, decompose
+from repro.polyhedra.farkas import FarkasEncoder, TemplateConstraint
+
+__all__ = [
+    "LinExpr",
+    "var",
+    "const",
+    "AffineIneq",
+    "Polyhedron",
+    "GeneratorSet",
+    "cone_generators",
+    "polyhedron_generators",
+    "MinkowskiDecomposition",
+    "decompose",
+    "FarkasEncoder",
+    "TemplateConstraint",
+]

@@ -1,0 +1,75 @@
+"""Minkowski decomposition of polyhedra (Theorem 5.3 of the paper).
+
+Every polyhedron ``P = {v : M v <= d}`` decomposes as ``P = Q + C`` with
+``Q`` a polytope and ``C = {v : M v <= 0}`` the recession cone.  The
+decomposition drives the paper's quantifier-elimination step
+(Proposition 1): the pre fixed-point constraint over all of ``P`` reduces to
+
+* (D1) a *cone condition* — each exponent slope ``alpha_j`` is non-increasing
+  along ``C`` — handled by Farkas' lemma, and
+* (D2) finitely many convex inequalities at the generator points of ``Q``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+from repro.polyhedra.constraints import Polyhedron
+from repro.polyhedra.dd import GeneratorSet, polyhedron_generators
+
+__all__ = ["MinkowskiDecomposition", "decompose"]
+
+
+@dataclass
+class MinkowskiDecomposition:
+    """``P = conv(polytope_points) + C`` with ``C`` the recession cone.
+
+    ``cone`` is kept in H-representation (that is what the Farkas encoding of
+    condition (D1) consumes); ``generators`` additionally records the cone's
+    rays and lines for verification purposes.
+    """
+
+    polyhedron: Polyhedron
+    polytope_points: List[Dict[str, Fraction]]
+    cone: Polyhedron
+    generators: GeneratorSet
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff the original polyhedron is empty."""
+        return not self.polytope_points
+
+    @property
+    def cone_is_trivial(self) -> bool:
+        """True iff the recession cone is ``{0}`` (P is a polytope)."""
+        return not self.generators.rays and not self.generators.lines
+
+    def verify(self, tol: Fraction = Fraction(0)) -> bool:
+        """Sanity-check the decomposition: every generator point lies in P
+        and every ray/line direction lies in the recession cone."""
+        for point in self.polytope_points:
+            if not self.polyhedron.contains(point, tol):
+                return False
+        cone = self.cone
+        for ray in self.generators.rays:
+            if not cone.contains(dict(zip(self.generators.variables, ray)), tol):
+                return False
+        for line in self.generators.lines:
+            val = dict(zip(self.generators.variables, line))
+            neg = {k: -v for k, v in val.items()}
+            if not (cone.contains(val, tol) and cone.contains(neg, tol)):
+                return False
+        return True
+
+
+def decompose(poly: Polyhedron) -> MinkowskiDecomposition:
+    """Compute ``P = Q + C`` exactly via the double description method."""
+    generators = polyhedron_generators(poly)
+    return MinkowskiDecomposition(
+        polyhedron=poly,
+        polytope_points=generators.point_valuations(),
+        cone=poly.recession_cone(),
+        generators=generators,
+    )

@@ -1,0 +1,86 @@
+"""Deviation benchmarks (Table 1, first block) — from [CS13].
+
+These programs accumulate independent bounded increments and ask for the
+probability of a large deviation of the final value from its expectation.
+
+Reconstruction notes (see EXPERIMENTS.md): the paper's Figure 4 listing is
+inconsistent with both its Table 1 numbers and its Table 3 symbolic bounds,
+so both benchmarks are reconstructed *from the previous-results column*,
+which matches the endpoint Hoeffding bound ``exp(-2 d^2 / (n c^2))`` of
+[CS13] exactly:
+
+* ``RdAdder`` — 500 fair-coin increments (``n = 500``, range ``c = 1``):
+  ``exp(-2 * 25^2 / 500) = 8.21e-2`` vs the paper's reported 8.00e-2, and
+  likewise 4.54e-5 / 1.69e-10 for d = 50 / 75.
+* ``Robot`` — 60 movement commands, each adding deterministic displacement
+  to the dead-reckoning estimate ``ex`` and actuator noise ``+-0.05`` to
+  the true position ``x`` (``n = 60``, ``c = 0.1``):
+  ``exp(-2 * 1.8^2 / 0.6) = 2.04e-5`` — the paper's previous-result column
+  verbatim, and likewise 1.62e-6 / 9.85e-8 for d = 2.0 / 2.2.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.programs.registry import BenchmarkInstance, make_instance, register
+
+__all__ = ["rdadder", "robot"]
+
+
+@register("RdAdder")
+def rdadder(deviation: int = 25, n: int = 500) -> BenchmarkInstance:
+    """Randomized accumulation: X ~ Binomial(n, 1/2), assert X <= n/2 + d."""
+    threshold = n // 2 + deviation
+    source = f"""
+i := 0
+x := 0
+while i <= {n - 1}:
+    if prob(0.5):
+        i, x := i + 1, x + 1
+    else:
+        i := i + 1
+assert x <= {threshold}
+"""
+    return make_instance(
+        name="RdAdder",
+        family="Deviation",
+        source=source,
+        params={"deviation": deviation},
+        description=f"Pr[X - E[X] >= {deviation}] for X ~ Binomial({n}, 1/2)",
+        notes="reconstructed: 500 fair increments (matches [CS13] column)",
+    )
+
+
+@register("Robot")
+def robot(deviation: str = "1.8", n: int = 60) -> BenchmarkInstance:
+    """Dead-reckoning robot: position x vs expected position ex.
+
+    Each of ``n`` commands moves by a direction-dependent displacement
+    (both ``x`` and ``ex``) plus ``+-0.05`` actuator noise on ``x`` only,
+    drawn through the sampling variable ``noise``.  The assertion bounds
+    the dead-reckoning error ``x - ex``.
+    """
+    source = f"""
+noise ~ discrete((0.5, -0.05), (0.5, 0.05))
+i := 0
+x := 0
+ex := 0
+while i <= {n - 1}:
+    switch:
+        prob(0.2): i, x, ex := i + 1, x - 1.414 + noise, ex - 1.414
+        prob(0.2): i, x, ex := i + 1, x + 1.414 + noise, ex + 1.414
+        prob(0.2): i, x, ex := i + 1, x - 1 + noise, ex - 1
+        prob(0.2): i, x, ex := i + 1, x + 1 + noise, ex + 1
+        prob(0.2): i, x, ex := i + 1, x + noise, ex
+assert x - ex <= {deviation}
+"""
+    return make_instance(
+        name="Robot",
+        family="Deviation",
+        source=source,
+        params={"deviation": deviation},
+        description=f"Pr[X - E[X] >= {deviation}] for the deadreckoning robot",
+        notes="reconstructed: 60 commands, +-0.05 actuator noise (matches [CS13] column)",
+        integer_mode=False,
+    )

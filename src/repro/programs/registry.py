@@ -1,0 +1,88 @@
+"""Benchmark registry: one entry per paper benchmark.
+
+Each benchmark is a factory producing a :class:`BenchmarkInstance` — the
+compiled PTS, its invariants, and bookkeeping for the experiment harness.
+Sources are written in the surface language exactly as the paper's
+Figures 1-12 give them (reconstructions of abbreviated figures are
+documented per family module and in ``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ModelError
+from repro.lang import compile_source
+from repro.pts.model import PTS
+from repro.core.invariants import InvariantMap, generate_interval_invariants
+
+__all__ = ["BenchmarkInstance", "make_instance", "BENCHMARKS", "register", "get_benchmark"]
+
+
+@dataclass
+class BenchmarkInstance:
+    """A ready-to-analyze benchmark."""
+
+    name: str
+    family: str
+    params: Dict[str, object]
+    pts: PTS
+    invariants: InvariantMap
+    description: str = ""
+    notes: str = ""
+
+    @property
+    def label(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.params.items())
+        return f"{self.name}({inner})"
+
+
+def make_instance(
+    name: str,
+    family: str,
+    source: str,
+    params: Dict[str, object],
+    description: str = "",
+    notes: str = "",
+    integer_mode: bool = True,
+) -> BenchmarkInstance:
+    """Compile a benchmark source and generate its interval invariants."""
+    result = compile_source(source, integer_mode=integer_mode, name=name)
+    invariants = generate_interval_invariants(result.pts)
+    if result.invariants:
+        invariants = invariants.merged_with(result.invariants)
+    return BenchmarkInstance(
+        name=name,
+        family=family,
+        params=dict(params),
+        pts=result.pts,
+        invariants=invariants,
+        description=description,
+        notes=notes,
+    )
+
+
+BENCHMARKS: Dict[str, Callable[..., BenchmarkInstance]] = {}
+
+
+def register(name: str):
+    """Decorator registering a benchmark factory under ``name``."""
+
+    def wrap(fn: Callable[..., BenchmarkInstance]):
+        BENCHMARKS[name] = fn
+        return fn
+
+    return wrap
+
+
+def get_benchmark(name: str, **params) -> BenchmarkInstance:
+    """Instantiate a registered benchmark by name."""
+    # import the family modules so their registrations run
+    from repro.programs import concentration, deviation, hardware, stoinv  # noqa: F401
+
+    if name not in BENCHMARKS:
+        raise ModelError(
+            f"unknown benchmark {name!r}; available: {sorted(BENCHMARKS)}"
+        )
+    return BENCHMARKS[name](**params)

@@ -1,0 +1,46 @@
+"""Probabilistic transition systems: model, distributions, simulation."""
+
+from repro.pts.model import TERM, FAIL, AffineUpdate, Fork, Transition, PTS
+from repro.pts.distributions import (
+    Distribution,
+    PointMass,
+    DiscreteDistribution,
+    UniformDistribution,
+    NormalDistribution,
+    bernoulli,
+)
+from repro.pts.builder import PTSBuilder
+from repro.pts.simulator import (
+    SimulationResult,
+    simulate,
+    simulate_violation_probability,
+)
+from repro.pts.validate import (
+    ValidationReport,
+    check_exclusivity,
+    check_completeness,
+    validate_pts,
+)
+
+__all__ = [
+    "TERM",
+    "FAIL",
+    "AffineUpdate",
+    "Fork",
+    "Transition",
+    "PTS",
+    "Distribution",
+    "PointMass",
+    "DiscreteDistribution",
+    "UniformDistribution",
+    "NormalDistribution",
+    "bernoulli",
+    "PTSBuilder",
+    "SimulationResult",
+    "simulate",
+    "simulate_violation_probability",
+    "ValidationReport",
+    "check_exclusivity",
+    "check_completeness",
+    "validate_pts",
+]

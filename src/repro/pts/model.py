@@ -1,0 +1,296 @@
+"""Probabilistic transition systems (Section 2 of the paper).
+
+A PTS is a tuple ``(V, R, D, L, T, l_init, v_init, l_term, l_fail)``:
+program variables, sampling variables with distributions, locations, guarded
+probabilistic transitions, an initial state and two distinguished sink
+locations — ``l_term`` for normal termination and ``l_fail`` for assertion
+violation.  The quantity of interest (QAVA) is::
+
+    vpf(l, v) = Pr[ reach l_fail | start in (l, v) ]
+
+All guards are conjunctions of affine inequalities (:class:`Polyhedron`) and
+all updates are affine maps ``upd(v, r) = Q v + R r + e`` — the *affine PTS*
+class for which the paper's algorithms are sound/complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ModelError, NotAffineError
+from repro.polyhedra.constraints import Polyhedron
+from repro.polyhedra.linexpr import LinExpr
+from repro.pts.distributions import Distribution
+from repro.utils.numbers import Number, as_fraction
+
+__all__ = ["TERM", "FAIL", "AffineUpdate", "Fork", "Transition", "PTS"]
+
+#: canonical names of the two sink locations
+TERM = "__term__"
+FAIL = "__fail__"
+
+
+class AffineUpdate:
+    """An affine update function ``upd(v, r) = Q v + R r + e``.
+
+    Stored as a mapping from each *updated* program variable to an affine
+    :class:`LinExpr` over program and sampling variables; unmentioned
+    variables keep their value (identity rows of ``Q``).
+    """
+
+    __slots__ = ("assignments",)
+
+    def __init__(self, assignments: Mapping[str, LinExpr] = ()):  # type: ignore[assignment]
+        items = dict(assignments) if isinstance(assignments, Mapping) else dict(assignments)
+        self.assignments: Dict[str, LinExpr] = {
+            name: LinExpr.coerce(expr) for name, expr in items.items()
+        }
+
+    @staticmethod
+    def identity() -> "AffineUpdate":
+        """The update that leaves every variable unchanged."""
+        return AffineUpdate({})
+
+    def expr_for(self, variable: str) -> LinExpr:
+        """The post-expression of ``variable`` (its own value if unmentioned)."""
+        return self.assignments.get(variable, LinExpr.variable(variable))
+
+    def apply(
+        self,
+        valuation: Mapping[str, Fraction],
+        samples: Mapping[str, Fraction] = (),
+    ) -> Dict[str, Fraction]:
+        """Exact simultaneous application (tuple-assignment semantics)."""
+        env: Dict[str, Fraction] = dict(valuation)
+        if samples:
+            env.update(samples)
+        return {
+            name: self.expr_for(name).evaluate(env) for name in valuation
+        }
+
+    def apply_float(
+        self,
+        valuation: Mapping[str, float],
+        samples: Mapping[str, float] = (),
+    ) -> Dict[str, float]:
+        """Float application (simulation hot path)."""
+        env: Dict[str, float] = dict(valuation)
+        if samples:
+            env.update(samples)
+        return {
+            name: self.expr_for(name).evaluate_float(env) for name in valuation
+        }
+
+    def matrices(
+        self, program_vars: Sequence[str], sampling_vars: Sequence[str]
+    ) -> Tuple[List[List[Fraction]], List[List[Fraction]], List[Fraction]]:
+        """``(Q, R, e)`` with row order = ``program_vars``."""
+        q: List[List[Fraction]] = []
+        r: List[List[Fraction]] = []
+        e: List[Fraction] = []
+        for v in program_vars:
+            expr = self.expr_for(v)
+            q.append([expr.coeff(u) for u in program_vars])
+            r.append([expr.coeff(u) for u in sampling_vars])
+            e.append(expr.const)
+        return q, r, e
+
+    def sampling_variables(self) -> Tuple[str, ...]:
+        """Sampling variables referenced by this update (computed later by
+        the owning PTS, which knows which names are sampling variables)."""
+        names = set()
+        for expr in self.assignments.values():
+            names.update(expr.variables())
+        return tuple(sorted(names))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AffineUpdate):
+            return NotImplemented
+        return self.assignments == other.assignments
+
+    def __repr__(self) -> str:
+        if not self.assignments:
+            return "AffineUpdate(identity)"
+        inner = ", ".join(f"{k} := {v}" for k, v in sorted(self.assignments.items()))
+        return f"AffineUpdate({inner})"
+
+
+@dataclass(frozen=True)
+class Fork:
+    """One probabilistic branch of a transition: ``(destination, p, update)``."""
+
+    destination: str
+    probability: Fraction
+    update: AffineUpdate
+
+    def __init__(self, destination: str, probability: Number, update: Optional[AffineUpdate] = None):
+        object.__setattr__(self, "destination", destination)
+        object.__setattr__(self, "probability", as_fraction(probability))
+        object.__setattr__(self, "update", update if update is not None else AffineUpdate.identity())
+        if not 0 < self.probability <= 1:
+            raise ModelError(f"fork probability {self.probability} outside (0, 1]")
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A guarded probabilistic transition out of ``source``."""
+
+    source: str
+    guard: Polyhedron
+    forks: Tuple[Fork, ...]
+    name: str = ""
+
+    def __init__(self, source: str, guard: Polyhedron, forks: Iterable[Fork], name: str = ""):
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "guard", guard)
+        object.__setattr__(self, "forks", tuple(forks))
+        object.__setattr__(self, "name", name or source)
+        total = sum((f.probability for f in self.forks), Fraction(0))
+        if total != 1:
+            raise ModelError(
+                f"transition {self.name!r}: fork probabilities sum to {total}, not 1"
+            )
+
+
+class PTS:
+    """A probabilistic transition system (immutable after construction)."""
+
+    def __init__(
+        self,
+        program_vars: Sequence[str],
+        init_location: str,
+        init_valuation: Mapping[str, Number],
+        transitions: Iterable[Transition],
+        distributions: Mapping[str, Distribution] = (),
+        term_location: str = TERM,
+        fail_location: str = FAIL,
+        name: str = "pts",
+    ):
+        self.name = name
+        self.program_vars: Tuple[str, ...] = tuple(program_vars)
+        self.term_location = term_location
+        self.fail_location = fail_location
+        self.init_location = init_location
+        missing_init = set(self.program_vars) - set(init_valuation)
+        if missing_init:
+            raise ModelError(f"initial valuation missing variables {sorted(missing_init)}")
+        self.init_valuation: Dict[str, Fraction] = {
+            v: as_fraction(init_valuation[v]) for v in self.program_vars
+        }
+        self.distributions: Dict[str, Distribution] = dict(distributions)
+        self.transitions: Tuple[Transition, ...] = tuple(transitions)
+        self._by_source: Dict[str, List[Transition]] = {}
+        for t in self.transitions:
+            self._by_source.setdefault(t.source, []).append(t)
+        self.locations: Tuple[str, ...] = self._collect_locations()
+        self._validate()
+
+    # -- construction-time validation -------------------------------------------
+    def _collect_locations(self) -> Tuple[str, ...]:
+        names = {self.init_location, self.term_location, self.fail_location}
+        for t in self.transitions:
+            names.add(t.source)
+            for f in t.forks:
+                names.add(f.destination)
+        return tuple(sorted(names))
+
+    def _validate(self) -> None:
+        overlap = set(self.program_vars) & set(self.distributions)
+        if overlap:
+            raise ModelError(f"names used as both program and sampling variables: {sorted(overlap)}")
+        if len(set(self.program_vars)) != len(self.program_vars):
+            raise ModelError("duplicate program variables")
+        if self.term_location == self.fail_location:
+            raise ModelError("terminal and failure locations must differ")
+        missing = set(self.program_vars) - set(self.init_valuation)
+        if missing:
+            raise ModelError(f"initial valuation missing variables {sorted(missing)}")
+        allowed = set(self.program_vars) | set(self.distributions)
+        for t in self.transitions:
+            if t.source in (self.term_location, self.fail_location):
+                raise ModelError(f"transition out of sink location {t.source!r}")
+            bad_guard = set(v for i in t.guard.inequalities for v in i.variables()) - set(self.program_vars)
+            if bad_guard:
+                raise ModelError(
+                    f"transition {t.name!r}: guard uses non-program variables {sorted(bad_guard)}"
+                )
+            for f in t.forks:
+                for target, expr in f.update.assignments.items():
+                    if target not in self.program_vars:
+                        raise ModelError(
+                            f"transition {t.name!r}: update assigns unknown variable {target!r}"
+                        )
+                    bad = set(expr.variables()) - allowed
+                    if bad:
+                        raise ModelError(
+                            f"transition {t.name!r}: update for {target!r} uses "
+                            f"undeclared variables {sorted(bad)}"
+                        )
+
+    # -- queries ---------------------------------------------------------------------
+    @property
+    def sampling_vars(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.distributions))
+
+    @property
+    def interior_locations(self) -> Tuple[str, ...]:
+        """All locations except the two sinks."""
+        return tuple(
+            l for l in self.locations if l not in (self.term_location, self.fail_location)
+        )
+
+    def transitions_from(self, location: str) -> List[Transition]:
+        return list(self._by_source.get(location, []))
+
+    def enabled_transition(
+        self, location: str, valuation: Mapping[str, float], tol: float = 1e-9
+    ) -> Optional[Transition]:
+        """The first transition whose guard holds at ``valuation``.
+
+        Well-formed PTSs have mutually exclusive guards up to measure-zero
+        boundary overlap (see the compiler's complement convention), so "the
+        first match" is canonical.
+        """
+        for t in self._by_source.get(location, []):
+            if t.guard.contains_float(valuation, tol):
+                return t
+        return None
+
+    def initial_state(self) -> Tuple[str, Dict[str, Fraction]]:
+        return self.init_location, dict(self.init_valuation)
+
+    def is_sink(self, location: str) -> bool:
+        return location in (self.term_location, self.fail_location)
+
+    def is_affine(self) -> bool:
+        """Affine by construction; kept for interface symmetry."""
+        return True
+
+    def max_fork_count(self) -> int:
+        return max((len(t.forks) for t in self.transitions), default=0)
+
+    def pretty(self) -> str:
+        """A readable multi-line rendering of the whole system."""
+        lines = [f"PTS {self.name!r}"]
+        lines.append(f"  program vars : {', '.join(self.program_vars)}")
+        if self.distributions:
+            lines.append("  sampling vars:")
+            for r, d in sorted(self.distributions.items()):
+                lines.append(f"    {r} ~ {d!r}")
+        init = ", ".join(f"{v}={self.init_valuation[v]}" for v in self.program_vars)
+        lines.append(f"  init         : {self.init_location} [{init}]")
+        lines.append(f"  sinks        : term={self.term_location} fail={self.fail_location}")
+        for t in self.transitions:
+            guard = " and ".join(str(i) for i in t.guard.inequalities) or "true"
+            lines.append(f"  {t.source}: when {guard}")
+            for f in t.forks:
+                lines.append(f"    -> {f.destination} w.p. {f.probability} {f.update!r}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"PTS({self.name!r}, |V|={len(self.program_vars)}, "
+            f"|L|={len(self.locations)}, |T|={len(self.transitions)})"
+        )

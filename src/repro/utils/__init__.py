@@ -1,0 +1,19 @@
+"""Small shared utilities: exact rational helpers and stable log-space math."""
+
+from repro.utils.numbers import (
+    as_fraction,
+    fraction_gcd,
+    normalize_row,
+    is_integral,
+)
+from repro.utils.logspace import log_sum_exp, log1mexp, log_diff_exp
+
+__all__ = [
+    "as_fraction",
+    "fraction_gcd",
+    "normalize_row",
+    "is_integral",
+    "log_sum_exp",
+    "log1mexp",
+    "log_diff_exp",
+]

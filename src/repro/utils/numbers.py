@@ -1,0 +1,75 @@
+"""Exact rational-number helpers used throughout the polyhedra substrate.
+
+The double description method and the Farkas encodings are carried out over
+``fractions.Fraction`` so that generator computations are exact; floats only
+appear at the solver boundary.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Iterable, List, Sequence, Union
+
+Number = Union[int, float, str, Fraction]
+
+
+def as_fraction(x: Number) -> Fraction:
+    """Convert ``x`` to an exact :class:`Fraction`.
+
+    Floats are converted via ``Fraction(str(x))`` when that round-trips the
+    repr (so ``0.1`` becomes ``1/10`` rather than the binary expansion), and
+    exactly otherwise.  Strings like ``"3/4"`` are accepted.
+    """
+    if isinstance(x, Fraction):
+        return x
+    if isinstance(x, int):
+        return Fraction(x)
+    if isinstance(x, str):
+        return Fraction(x)
+    if isinstance(x, float):
+        if x != x or x in (float("inf"), float("-inf")):
+            raise ValueError(f"cannot convert non-finite float {x!r} to Fraction")
+        try:
+            candidate = Fraction(str(x))
+        except ValueError:
+            return Fraction(x)
+        return candidate if float(candidate) == x else Fraction(x)
+    raise TypeError(f"cannot interpret {type(x).__name__} as a rational number")
+
+
+def fraction_gcd(values: Iterable[Fraction]) -> Fraction:
+    """Positive gcd of a collection of fractions (0 if all are zero).
+
+    ``gcd(a/b, c/d) = gcd(a·d, c·b) / (b·d)`` reduced; used to put generator
+    rays into a canonical scale.
+    """
+    result = Fraction(0)
+    for v in values:
+        v = abs(v)
+        if v == 0:
+            continue
+        if result == 0:
+            result = v
+        else:
+            num = gcd(result.numerator * v.denominator, v.numerator * result.denominator)
+            den = result.denominator * v.denominator
+            result = Fraction(num, den)
+    return result
+
+
+def normalize_row(row: Sequence[Fraction]) -> List[Fraction]:
+    """Scale a rational vector by the reciprocal of its gcd.
+
+    The result has integer entries with gcd 1 and the same direction (the
+    leading sign is preserved).  The zero vector is returned unchanged.
+    """
+    g = fraction_gcd(row)
+    if g == 0:
+        return list(row)
+    return [v / g for v in row]
+
+
+def is_integral(x: Fraction) -> bool:
+    """True iff ``x`` is an integer."""
+    return x.denominator == 1

@@ -1,0 +1,84 @@
+"""Tests for the prior-work baselines ([CS13], [CFNH18], [CNZ17])."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    cfnh18_concentration_bound,
+    cs13_deviation_bound,
+    synthesize_bounded_rsm,
+)
+from repro.core.baselines import BoundedRSM
+from repro.programs import get_benchmark
+
+
+class TestCS13:
+    def test_matches_paper_rdadder_column(self):
+        # [CS13] previous results in Table 1: 8.00e-2 / 4.54e-5 / 1.69e-10
+        for d, paper in [(25, 8.00e-2), (50, 4.54e-5), (75, 1.69e-10)]:
+            ours = math.exp(cs13_deviation_bound(500, d, 1.0))
+            assert ours == pytest.approx(paper, rel=0.05)
+
+    def test_matches_paper_robot_column(self):
+        for d, paper in [(1.8, 2.04e-5), (2.0, 1.62e-6), (2.2, 9.85e-8)]:
+            ours = math.exp(cs13_deviation_bound(60, d, 0.1))
+            assert ours == pytest.approx(paper, rel=0.05)
+
+    def test_trivial_for_nonpositive_deviation(self):
+        assert cs13_deviation_bound(100, 0.0) == 0.0
+        assert cs13_deviation_bound(100, -1.0) == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            cs13_deviation_bound(0, 5.0)
+        with pytest.raises(ValueError):
+            cs13_deviation_bound(10, 5.0, 0.0)
+
+    def test_monotone_in_deviation(self):
+        assert cs13_deviation_bound(100, 10) > cs13_deviation_bound(100, 20)
+
+
+class TestCFNH18:
+    def test_trivial_before_drift_overcomes_rank(self):
+        rsm = BoundedRSM(rho0=100.0, c=1.0)
+        assert cfnh18_concentration_bound(rsm, 50.0) == 0.0
+
+    def test_decreasing_in_n(self):
+        rsm = BoundedRSM(rho0=100.0, c=1.0)
+        b1 = cfnh18_concentration_bound(rsm, 200.0)
+        b2 = cfnh18_concentration_bound(rsm, 400.0)
+        assert b2 < b1 < 0.0
+
+    def test_formula(self):
+        rsm = BoundedRSM(rho0=0.0, c=1.0, eps=1.0)
+        # exp(-(n)^2 / (2 n (2)^2)) = exp(-n / 8)
+        assert cfnh18_concentration_bound(rsm, 80.0) == pytest.approx(-10.0)
+
+
+class TestBoundedRSMSynthesis:
+    def test_rdwalk_rsm(self):
+        inst = get_benchmark("Rdwalk", n=400)
+        rsm = synthesize_bounded_rsm(inst.pts, inst.invariants)
+        assert rsm.rho0 >= 0.0
+        assert rsm.c >= 1.0
+        # the drift-1/2 walk over 100 positions has rank about 200 after
+        # normalizing the expected decrease to 1
+        assert rsm.rho0 < 1000.0
+
+    def test_baseline_bound_is_looser_than_sec52(self):
+        from repro.core import cfnh18_best_bound, exp_lin_syn
+
+        inst = get_benchmark("Rdwalk", n=400)
+        baseline = cfnh18_best_bound(inst.pts, inst.invariants, 400.0)
+        ours = exp_lin_syn(inst.pts, inst.invariants).log_bound
+        assert ours <= baseline + 1e-9
+        assert baseline < 0.0  # the baseline is still informative
+
+    def test_c_cap_trades_difference_for_rank(self):
+        inst = get_benchmark("Rdwalk", n=400)
+        capped = synthesize_bounded_rsm(inst.pts, inst.invariants, c_cap=2.0)
+        assert capped.c <= 2.0 + 1e-6
+        # with budget c <= 2 the x-based rank (rho_0 ~ 202) is optimal,
+        # unlike the useless time-based rank (rho_0 = 402)
+        assert capped.rho0 < 400.0

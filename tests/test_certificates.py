@@ -1,0 +1,166 @@
+"""Tests for certificate objects and independent verification."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.lang import compile_source
+from repro.polyhedra import Polyhedron
+from repro.core import (
+    InvariantMap,
+    LowerBoundCertificate,
+    UpperBoundCertificate,
+    exp_lin_syn,
+    exp_low_syn,
+    generate_interval_invariants,
+    log_ptf_transition,
+    sample_psi_points,
+)
+from repro.core.templates import ExpTemplate
+
+RACE = """
+x := 40
+y := 0
+while x <= 99 and y <= 99:
+    if prob(0.5):
+        x, y := x + 1, y + 2
+    else:
+        x := x + 1
+assert x >= 100
+"""
+
+
+@pytest.fixture(scope="module")
+def race():
+    pts = compile_source(RACE, name="race").pts
+    return pts, generate_interval_invariants(pts)
+
+
+class TestLogPtf:
+    def test_matches_manual_expectation(self, race):
+        pts, inv = race
+        template = ExpTemplate(pts)
+        head = pts.init_location
+        sf = template.instantiate(
+            {template.a_name(head, "x"): -1.0, template.b_name(head): 0.0}
+        )
+        loop = [t for t in pts.transitions_from(head) if len(t.forks) == 2][0]
+        got = log_ptf_transition(pts, sf, loop, {"x": 50.0, "y": 0.0})
+        # both forks move x to 51: 0.5 e^{-51} + 0.5 e^{-51} = e^{-51}
+        assert got == pytest.approx(-51.0)
+
+    def test_fail_fork_contributes_probability(self, race):
+        pts, inv = race
+        sf = ExpTemplate(pts).instantiate({})
+        fail_t = [
+            t
+            for t in pts.transitions
+            if any(f.destination == pts.fail_location for f in t.forks)
+        ][0]
+        got = log_ptf_transition(pts, sf, fail_t, {"x": 50.0, "y": 100.0})
+        assert got == pytest.approx(0.0)  # probability 1 into fail
+
+    def test_term_fork_contributes_nothing(self, race):
+        pts, inv = race
+        sf = ExpTemplate(pts).instantiate({})
+        term_t = [
+            t
+            for t in pts.transitions
+            if all(f.destination == pts.term_location for f in t.forks)
+        ][0]
+        assert log_ptf_transition(pts, sf, term_t, {"x": 100.0, "y": 0.0}) == float(
+            "-inf"
+        )
+
+
+class TestSamplePsiPoints:
+    def test_includes_vertices(self):
+        poly = Polyhedron.from_box({"x": (0, 10)})
+        points = sample_psi_points(poly, random.Random(0), count=4)
+        xs = sorted(p["x"] for p in points)
+        assert xs[0] == pytest.approx(0.0)
+        assert any(abs(x - 10.0) < 1e-9 for x in xs)
+
+    def test_unbounded_directions_sampled(self):
+        poly = Polyhedron.from_box({"x": (0, None)})
+        points = sample_psi_points(poly, random.Random(0), count=20)
+        assert max(p["x"] for p in points) > 10.0
+
+    def test_empty_polyhedron(self):
+        poly = Polyhedron.from_box({"x": (3, 1)})
+        assert sample_psi_points(poly, random.Random(0)) == []
+
+    def test_all_points_inside(self):
+        poly = Polyhedron.from_box({"x": (0, 5), "y": (-2, 2)})
+        for p in sample_psi_points(poly, random.Random(1), count=16):
+            assert poly.contains_float(p, tol=1e-6)
+
+
+class TestCertificateAPI:
+    def test_bound_properties(self, race):
+        pts, inv = race
+        cert = exp_lin_syn(pts, inv)
+        assert 0.0 < cert.bound < 1.0
+        assert math.log(cert.bound) == pytest.approx(cert.log_bound, abs=1e-9)
+        assert "e-07" in cert.bound_str
+        assert "explinsyn" in repr(cert)
+
+    def test_render_template_per_location(self, race):
+        pts, inv = race
+        cert = exp_lin_syn(pts, inv)
+        rendered = cert.render_template()
+        assert set(rendered) == set(cert.state_function.coeffs)
+        assert all(v.startswith("exp(") for v in rendered.values())
+
+    def test_log_space_bound_str_below_double_range(self):
+        from repro.programs import get_benchmark
+
+        inst = get_benchmark("2DWalk", x0=1000, y0=10)
+        cert = exp_lin_syn(inst.pts, inst.invariants)
+        assert cert.bound == 0.0  # ~1e-570 underflows doubles
+        assert "e-5" in cert.bound_str  # but prints exactly in log form
+
+
+class TestVerificationCatchesBadCertificates:
+    def test_tampered_upper_bound_rejected(self, race):
+        pts, inv = race
+        cert = exp_lin_syn(pts, inv)
+        head = pts.init_location
+        # tamper: flip the sign of the x coefficient
+        cert.state_function.coeffs[head]["x"] *= -1.0
+        with pytest.raises(VerificationError):
+            cert.verify()
+
+    def test_tampered_lower_bound_rejected(self):
+        from repro.programs import get_benchmark
+
+        inst = get_benchmark("M1DWalk", p="1e-4")
+        cert = exp_low_syn(inst.pts, inst.invariants)
+        loc = next(iter(cert.state_function.coeffs))
+        cert.state_function.consts[loc] += 1.0  # inflate theta
+        with pytest.raises(VerificationError):
+            cert.verify()
+
+    def test_lower_bound_above_one_rejected(self):
+        from repro.programs import get_benchmark
+
+        inst = get_benchmark("M1DWalk", p="1e-4")
+        cert = exp_low_syn(inst.pts, inst.invariants)
+        cert.log_bound = 0.5  # claims probability e^0.5 > 1
+        with pytest.raises(VerificationError):
+            cert.verify()
+
+    def test_wrong_invariant_detected_by_fixed_point_check(self, race):
+        pts, _ = race
+        cert = exp_lin_syn(pts)
+        # weaken to universe invariants: the pre fixed-point must still hold
+        # everywhere the guard allows; the certificate was synthesized for a
+        # *smaller* premise, so checking on the universe may fail — the
+        # verifier must at least not crash and must stay deterministic
+        cert.invariants = InvariantMap(pts)
+        try:
+            cert.verify()
+        except VerificationError:
+            pass  # acceptable: wider premise than the certificate supports

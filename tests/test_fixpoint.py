@@ -1,0 +1,89 @@
+"""Tests for value iteration (Theorems 4.2/4.3/4.4 made computational)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.lang import compile_source
+from repro.core.fixpoint import exact_vpf, value_iteration
+
+COIN = """
+x := 0
+if prob(0.25):
+    x := 1
+assert x <= 0
+"""
+
+GAMBLER = """
+x := 3
+while x >= 1 and x <= 9:
+    switch:
+        prob(0.5): x := x + 1
+        prob(0.5): x := x - 1
+assert x <= 0
+"""
+
+ASYM = """
+x := 0
+t := 0
+while x <= 19:
+    switch:
+        prob(0.75): x, t := x + 1, t + 1
+        prob(0.25): x, t := x - 1, t + 1
+assert t <= 60
+"""
+
+
+class TestValueIteration:
+    def test_coin_flip_exact(self):
+        pts = compile_source(COIN, name="coin").pts
+        result = value_iteration(pts)
+        assert result.tight
+        assert result.lower == pytest.approx(0.25, abs=1e-9)
+        assert not result.truncated
+
+    def test_gambler_ruin_closed_form(self):
+        # symmetric walk from 3 absorbing at 0 and 10: the assertion
+        # (x <= 0) fails exactly when the walk hits 10 first: Pr = 3/10
+        pts = compile_source(GAMBLER, name="gambler").pts
+        result = value_iteration(pts)
+        assert result.tight
+        assert result.lower == pytest.approx(0.3, abs=1e-8)
+
+    def test_bracket_contains_simulation(self):
+        from repro.pts import simulate
+
+        pts = compile_source(ASYM, name="asym").pts
+        result = value_iteration(pts, max_states=100_000)
+        sim = simulate(pts, episodes=4000, seed=3)
+        lo, hi = sim.violation_interval()
+        assert result.upper >= lo - 1e-9
+        assert result.lower <= hi + 1e-9
+
+    def test_truncation_widens_but_stays_sound(self):
+        pts = compile_source(ASYM, name="asym").pts
+        full = value_iteration(pts, max_states=100_000)
+        small = value_iteration(pts, max_states=500)
+        assert small.truncated
+        assert small.lower <= full.lower + 1e-9
+        assert small.upper >= full.upper - 1e-9
+        assert small.contains(0.5 * (full.lower + full.upper))
+
+    def test_exact_vpf_requires_closed_bracket(self):
+        pts = compile_source(ASYM, name="asym").pts
+        with pytest.raises(ModelError):
+            exact_vpf(pts, max_states=50)
+
+    def test_exact_vpf(self):
+        pts = compile_source(COIN, name="coin").pts
+        assert exact_vpf(pts) == pytest.approx(0.25, abs=1e-9)
+
+    def test_continuous_sampling_rejected(self):
+        src = "r ~ uniform(0, 1)\nx := 0\nx := x + r\nassert x <= 2"
+        pts = compile_source(src, name="cont").pts
+        with pytest.raises(ModelError):
+            value_iteration(pts)
+
+    def test_monotone_bracket(self):
+        pts = compile_source(GAMBLER, name="gambler").pts
+        r = value_iteration(pts)
+        assert 0.0 <= r.lower <= r.upper <= 1.0

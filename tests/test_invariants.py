@@ -1,0 +1,113 @@
+"""Tests for invariant maps and interval abstract interpretation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ModelError
+from repro.lang import compile_source
+from repro.polyhedra import AffineIneq, Polyhedron, var
+from repro.core.invariants import InvariantMap, generate_interval_invariants
+
+RACE = """
+x := 40
+y := 0
+while x <= 99 and y <= 99:
+    if prob(0.5):
+        x, y := x + 1, y + 2
+    else:
+        x := x + 1
+assert x >= 100
+"""
+
+WALK = """
+const p = 1e-4
+x := 1
+while x <= 99:
+    switch:
+        prob(p): exit
+        prob(0.75 * (1 - p)): x := x + 1
+        prob(0.25 * (1 - p)): x := x - 1
+assert false
+"""
+
+
+class TestInvariantMap:
+    def test_default_universe(self):
+        pts = compile_source(RACE, name="race").pts
+        inv = InvariantMap(pts)
+        assert not inv.of(pts.init_location).inequalities
+
+    def test_unknown_location_rejected(self):
+        pts = compile_source(RACE, name="race").pts
+        with pytest.raises(ModelError):
+            InvariantMap(pts, {"nowhere": Polyhedron.universe(pts.program_vars)})
+
+    def test_set_returns_copy(self):
+        pts = compile_source(RACE, name="race").pts
+        inv = InvariantMap(pts)
+        inv2 = inv.set(pts.init_location, Polyhedron.from_box({"x": (0, 100)}))
+        assert not inv.of(pts.init_location).inequalities
+        assert inv2.of(pts.init_location).inequalities
+
+    def test_merge_annotations_intersects(self):
+        pts = compile_source(RACE, name="race").pts
+        base = InvariantMap(pts, {pts.init_location: Polyhedron.from_box({"x": (40, None)})})
+        merged = base.merged_with(
+            {pts.init_location: Polyhedron.from_box({"x": (None, 100)})}
+        )
+        poly = merged.of(pts.init_location)
+        assert poly.contains({"x": 50, "y": 0})
+        assert not poly.contains({"x": 101, "y": 0})
+        assert not poly.contains({"x": 39, "y": 0})
+
+    def test_trajectory_check_passes_for_sound_invariant(self):
+        pts = compile_source(RACE, name="race").pts
+        inv = generate_interval_invariants(pts)
+        assert inv.check_on_trajectories(episodes=60, seed=1) == []
+
+    def test_trajectory_check_catches_unsound_invariant(self):
+        pts = compile_source(RACE, name="race").pts
+        bad = InvariantMap(pts, {pts.init_location: Polyhedron.from_box({"x": (None, 50)})})
+        problems = bad.check_on_trajectories(episodes=60, seed=1)
+        assert problems
+
+
+class TestIntervalGeneration:
+    def test_race_head_bounds(self):
+        pts = compile_source(RACE, name="race").pts
+        inv = generate_interval_invariants(pts)
+        head = inv.of(pts.init_location)
+        # reachable head states satisfy 40 <= x and 0 <= y
+        assert head.contains({"x": 40, "y": 0})
+        assert not head.contains({"x": 39, "y": 0})
+        assert not head.contains({"x": 40, "y": -1})
+
+    def test_walk_threshold_widening_keeps_guard_bound(self):
+        pts = compile_source(WALK, name="walk").pts
+        inv = generate_interval_invariants(pts)
+        head = inv.of(pts.init_location)
+        # widening must land on x <= 100 (one past the loop guard), not infinity
+        assert head.implies(AffineIneq.le(var("x"), 100))
+
+    def test_fail_location_invariant_exists(self):
+        pts = compile_source(RACE, name="race").pts
+        inv = generate_interval_invariants(pts)
+        fail_inv = inv.of(pts.fail_location)
+        assert not fail_inv.is_empty()
+        # the hare only wins while the tortoise is still short of the line
+        assert fail_inv.implies(AffineIneq.le(var("x"), 100))
+
+    def test_invariants_sound_on_simulation(self):
+        for src, name in [(RACE, "race"), (WALK, "walk")]:
+            pts = compile_source(src, name=name).pts
+            inv = generate_interval_invariants(pts)
+            assert inv.check_on_trajectories(episodes=80, seed=5) == []
+
+    def test_bounded_loop_gets_finite_box(self):
+        src = "x := 0\nwhile x <= 9:\n  x := x + 1\nassert x <= 20"
+        pts = compile_source(src, name="count").pts
+        inv = generate_interval_invariants(pts)
+        head = inv.of(pts.init_location)
+        assert head.implies(AffineIneq.le(var("x"), 10))
+        assert head.implies(AffineIneq.ge(var("x"), 0))

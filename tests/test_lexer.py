@@ -1,0 +1,92 @@
+"""Tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.lexer import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind in ("NAME", "NUMBER", "OP", "KEYWORD")]
+
+
+class TestBasics:
+    def test_empty(self):
+        assert kinds("") == ["EOF"]
+
+    def test_assignment(self):
+        toks = tokenize("x := 40")
+        assert [t.kind for t in toks] == ["NAME", "OP", "NUMBER", "NEWLINE", "EOF"]
+
+    def test_keywords_recognized(self):
+        toks = tokenize("while if else prob assert exit skip")
+        assert all(t.kind == "KEYWORD" for t in toks[:-2])
+
+    def test_comment_stripped(self):
+        assert texts("x := 1  # a comment") == ["x", ":=", "1"]
+
+    def test_comment_only_line_skipped(self):
+        assert kinds("# nothing\nx := 1") == ["NAME", "OP", "NUMBER", "NEWLINE", "EOF"]
+
+    def test_blank_lines_skipped(self):
+        assert kinds("\n\nx := 1\n\n") == ["NAME", "OP", "NUMBER", "NEWLINE", "EOF"]
+
+    def test_operators_maximal_munch(self):
+        assert texts("x <= 1") == ["x", "<=", "1"]
+        assert texts("x < = 1") == ["x", "<", "=", "1"]
+        assert texts("x := y") == ["x", ":=", "y"]
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError):
+            tokenize("x @ y")
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert texts("42") == ["42"]
+
+    def test_decimal(self):
+        assert texts("0.75") == ["0.75"]
+
+    def test_leading_dot(self):
+        assert texts(".5") == [".5"]
+
+    def test_scientific(self):
+        assert texts("1e-7") == ["1e-7"]
+        assert texts("2.5E+3") == ["2.5E+3"]
+
+    def test_e_not_followed_by_digit_is_name(self):
+        # "1e" alone: the 'e' is a trailing name, not an exponent
+        assert texts("1e + x") == ["1", "e", "+", "x"]
+
+
+class TestIndentation:
+    def test_indent_dedent_emitted(self):
+        src = "while x <= 1:\n    x := x + 1\ny := 2"
+        ks = kinds(src)
+        assert "INDENT" in ks and "DEDENT" in ks
+        assert ks.index("INDENT") < ks.index("DEDENT")
+
+    def test_nested_blocks(self):
+        src = "while a <= 1:\n  while b <= 1:\n    c := 1\nd := 2"
+        ks = kinds(src)
+        assert ks.count("INDENT") == 2 and ks.count("DEDENT") == 2
+
+    def test_final_dedents_emitted(self):
+        src = "while a <= 1:\n  b := 1"
+        ks = kinds(src)
+        assert ks.count("INDENT") == ks.count("DEDENT") == 1
+        assert ks[-1] == "EOF"
+
+    def test_inconsistent_dedent(self):
+        src = "while a <= 1:\n    b := 1\n  c := 2"
+        with pytest.raises(ParseError):
+            tokenize(src)
+
+    def test_positions_recorded(self):
+        tok = tokenize("x := 1")[0]
+        assert (tok.line, tok.column) == (1, 1)

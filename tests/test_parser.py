@@ -1,0 +1,252 @@
+"""Tests for the surface-language parser."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.polyhedra.linexpr import LinExpr, var
+from repro.pts.distributions import (
+    DiscreteDistribution,
+    NormalDistribution,
+    UniformDistribution,
+)
+
+
+class TestAssignments:
+    def test_simple(self):
+        prog = parse_program("x := 40")
+        (stmt,) = prog.body
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.targets == ("x",)
+        assert stmt.values == (LinExpr.constant(40),)
+
+    def test_tuple_assignment(self):
+        prog = parse_program("x, y := x + 1, y + 2")
+        (stmt,) = prog.body
+        assert stmt.targets == ("x", "y")
+        assert stmt.values[0] == var("x") + 1
+
+    def test_plain_equals_allowed(self):
+        (stmt,) = parse_program("x = 3").body
+        assert isinstance(stmt, ast.Assign)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_program("x, y := 1")
+
+    def test_duplicate_target(self):
+        with pytest.raises(ParseError):
+            parse_program("x, x := 1, 2")
+
+    def test_semicolon_separated_statements_require_block(self):
+        prog = parse_program("while x <= 1: x := x + 1; y := 2")
+        (loop,) = prog.body
+        assert len(loop.body) == 2
+
+
+class TestExpressions:
+    def test_affine_arithmetic(self):
+        (stmt,) = parse_program("x := 2 * y + 3 - z / 2").body
+        expected = var("y") * 2 + 3 - var("z") / 2
+        assert stmt.values[0] == expected
+
+    def test_constant_folding(self):
+        (stmt,) = parse_program("x := (1 + 2) * 3 / 9").body
+        assert stmt.values[0] == LinExpr.constant(1)
+
+    def test_decimal_is_exact(self):
+        (stmt,) = parse_program("x := 0.1").body
+        assert stmt.values[0].const == Fraction(1, 10)
+
+    def test_scientific_notation(self):
+        (stmt,) = parse_program("x := 1e-7").body
+        assert stmt.values[0].const == Fraction(1, 10_000_000)
+
+    def test_nonaffine_product_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("x := y * z")
+
+    def test_division_by_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("x := 1 / y")
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("x := y / 0")
+
+    def test_unary_minus(self):
+        (stmt,) = parse_program("x := -y + - 2").body
+        assert stmt.values[0] == -var("y") - 2
+
+
+class TestConstants:
+    def test_const_substitution(self):
+        prog = parse_program("const p = 1e-7\nx := p * 2")
+        stmt = prog.body[-1]
+        assert stmt.values[0] == LinExpr.constant(Fraction(2, 10_000_000))
+        assert prog.constants["p"] == Fraction(1, 10_000_000)
+
+    def test_const_in_probability(self):
+        prog = parse_program(
+            "const p = 0.25\nwhile x <= 1:\n  if prob(1 - p):\n    x := x + 1\n  else:\n    exit"
+        )
+        loop = prog.body[-1]
+        branch = loop.body[0]
+        assert branch.prob == Fraction(3, 4)
+
+
+class TestControlFlow:
+    def test_while_with_invariant(self):
+        prog = parse_program("while x <= 99 invariant x <= 100:\n  x := x + 1")
+        (loop,) = prog.body
+        assert isinstance(loop, ast.While)
+        assert loop.invariant is not None
+
+    def test_prob_if(self):
+        src = "if prob(0.5):\n  x := 1\nelse:\n  x := 2"
+        (branch,) = parse_program(src).body
+        assert isinstance(branch, ast.ProbIf)
+        assert branch.prob == Fraction(1, 2)
+        assert len(branch.then) == 1 and len(branch.orelse) == 1
+
+    def test_prob_if_without_else(self):
+        (branch,) = parse_program("if prob(0.5):\n  x := 1").body
+        assert branch.orelse == []
+
+    def test_deterministic_if(self):
+        (branch,) = parse_program("if x <= 0:\n  y := 1\nelse:\n  y := 2").body
+        assert isinstance(branch, ast.If)
+
+    def test_switch(self):
+        src = "switch:\n  prob(0.75): x := x + 1\n  prob(0.25): x := x - 1"
+        (sw,) = parse_program(src).body
+        assert isinstance(sw, ast.Switch)
+        assert [p for p, _ in sw.arms] == [Fraction(3, 4), Fraction(1, 4)]
+
+    def test_switch_probabilities_checked(self):
+        src = "switch:\n  prob(0.75): x := x + 1\n  prob(0.75): x := x - 1"
+        with pytest.raises(ParseError):
+            parse_program(src)
+
+    def test_empty_switch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("switch:\n  x := 1")
+
+    def test_assert_with_parens(self):
+        (a,) = parse_program("assert(x >= 100)").body
+        assert isinstance(a, ast.Assert)
+
+    def test_assert_false(self):
+        (a,) = parse_program("assert false").body
+        assert a.cond == ast.BoolConst(False)
+
+    def test_exit_skip(self):
+        prog = parse_program("skip\nexit")
+        assert isinstance(prog.body[0], ast.Skip)
+        assert isinstance(prog.body[1], ast.Exit)
+
+    def test_nested_blocks(self):
+        src = (
+            "while x <= 9:\n"
+            "  if prob(0.5):\n"
+            "    while y <= 3:\n"
+            "      y := y + 1\n"
+            "  else:\n"
+            "    x := x + 1\n"
+        )
+        (outer,) = parse_program(src).body
+        inner = outer.body[0].then[0]
+        assert isinstance(inner, ast.While)
+
+
+class TestBooleans:
+    def test_comparison_operators(self):
+        cond = parse_program("assert x <= 1").body[0].cond
+        assert isinstance(cond, ast.Atom) and not cond.strict
+        cond = parse_program("assert x < 1").body[0].cond
+        assert cond.strict
+        cond = parse_program("assert x >= 1").body[0].cond
+        assert isinstance(cond, ast.Atom)
+        cond = parse_program("assert x == 1").body[0].cond
+        assert isinstance(cond, ast.And)
+        cond = parse_program("assert x != 1").body[0].cond
+        assert isinstance(cond, ast.Or)
+
+    def test_precedence_and_over_or(self):
+        cond = parse_program("assert a <= 1 or b <= 2 and c <= 3").body[0].cond
+        assert isinstance(cond, ast.Or)
+        assert isinstance(cond.operands[1], ast.And)
+
+    def test_not(self):
+        cond = parse_program("assert not x <= 1").body[0].cond
+        assert isinstance(cond, ast.Not)
+
+    def test_parenthesized_bool(self):
+        cond = parse_program("assert (a <= 1 or b <= 2) and c <= 3").body[0].cond
+        assert isinstance(cond, ast.And)
+        assert isinstance(cond.operands[0], ast.Or)
+
+    def test_parenthesized_arithmetic_in_comparison(self):
+        cond = parse_program("assert (x + 1) * 2 <= 4").body[0].cond
+        assert isinstance(cond, ast.Atom)
+        assert cond.expr == var("x") * 2 - 2
+
+    def test_negate_atom_roundtrip(self):
+        atom = ast.Atom(var("x") - 1)
+        assert atom.negate().negate() == atom
+
+    def test_evaluate_bool(self):
+        cond = parse_program("assert x <= 1 and y >= 2").body[0].cond
+        assert ast.evaluate_bool(cond, {"x": 1, "y": 2})
+        assert not ast.evaluate_bool(cond, {"x": 2, "y": 2})
+
+    def test_strictness_in_evaluation(self):
+        cond = parse_program("assert x < 1").body[0].cond
+        assert not ast.evaluate_bool(cond, {"x": 1})
+        assert ast.evaluate_bool(cond, {"x": 0})
+
+
+class TestSamplingDecls:
+    def test_uniform(self):
+        (decl,) = parse_program("r ~ uniform(-1, 1)").body
+        assert isinstance(decl, ast.SampleDecl)
+        assert isinstance(decl.distribution, UniformDistribution)
+
+    def test_discrete(self):
+        (decl,) = parse_program("r ~ discrete((0.5, -1), (0.5, 1))").body
+        assert isinstance(decl.distribution, DiscreteDistribution)
+        assert decl.distribution.mean() == 0
+
+    def test_bernoulli(self):
+        (decl,) = parse_program("r ~ bernoulli(0.25)").body
+        assert decl.distribution.mean() == Fraction(1, 4)
+
+    def test_normal(self):
+        (decl,) = parse_program("r ~ normal(0, 2)").body
+        assert isinstance(decl.distribution, NormalDistribution)
+
+    def test_program_variables_exclude_samples(self):
+        prog = parse_program("r ~ bernoulli(0.5)\nx := x + r")
+        assert prog.variables() == ("x",)
+        assert [d.name for d in prog.sampling_declarations()] == ["r"]
+
+
+class TestErrors:
+    def test_unexpected_keyword(self):
+        with pytest.raises(ParseError):
+            parse_program("else:\n  x := 1")
+
+    def test_unexpected_token(self):
+        with pytest.raises(ParseError):
+            parse_program(":= 1")
+
+    def test_error_carries_position(self):
+        try:
+            parse_program("x :=\n")
+        except ParseError as e:
+            assert e.line == 1
+        else:
+            pytest.fail("expected ParseError")

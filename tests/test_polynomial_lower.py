@@ -1,0 +1,71 @@
+"""Tests for polynomial-exponent lower bounds (Remark 5)."""
+
+import pytest
+
+from repro.errors import ModelError, SynthesisError, VerificationError
+from repro.lang import compile_source
+from repro.core.polynomial_lower import polynomial_exp_low_syn
+from repro.programs import get_benchmark
+
+
+def chain(p: float = 0.002, length: int = 30) -> str:
+    return f"""
+const p = {p}
+i := 0
+while i <= {length - 1}:
+    if prob(1 - p):
+        i := i + 1
+    else:
+        exit
+assert false
+"""
+
+
+class TestPolynomialLower:
+    def test_chain_is_exact(self):
+        pts = compile_source(chain(), name="chain").pts
+        cert = polynomial_exp_low_syn(pts, degree=2)
+        assert cert.bound == pytest.approx(0.998**30, rel=1e-6)
+        assert cert.method == "polynomial-explowsyn"
+
+    def test_matches_affine_on_newton(self):
+        from repro.core import exp_low_syn
+
+        inst = get_benchmark("Newton", p="5e-4")
+        poly = polynomial_exp_low_syn(inst.pts, inst.invariants, degree=1)
+        affine = exp_low_syn(inst.pts, inst.invariants)
+        assert poly.log_bound == pytest.approx(affine.log_bound, rel=1e-4)
+
+    def test_degree_two_at_least_degree_one(self):
+        pts = compile_source(chain(0.01, 12), name="c2").pts
+        d1 = polynomial_exp_low_syn(pts, degree=1)
+        d2 = polynomial_exp_low_syn(pts, degree=2)
+        assert d2.log_bound >= d1.log_bound - 1e-6
+
+    def test_sampling_rejected(self):
+        src = "r ~ bernoulli(0.5)\nx := 0\nx := x + r\nassert false"
+        pts = compile_source(src, name="s").pts
+        with pytest.raises(ModelError):
+            polynomial_exp_low_syn(pts)
+
+    def test_all_mass_to_term_rejected(self):
+        pts = compile_source("x := 0\nexit\nassert false", name="never").pts
+        with pytest.raises(SynthesisError):
+            polynomial_exp_low_syn(pts)
+
+    def test_verification_catches_tampering(self):
+        pts = compile_source(chain(), name="chain").pts
+        cert = polynomial_exp_low_syn(pts, degree=1)
+        # inflate the initial template's constant coefficient
+        key = next(k for k in cert.assignment if k.startswith("c(") and "[()]" in k)
+        cert.assignment[key] += 5.0
+        with pytest.raises(VerificationError):
+            cert.verify()
+
+    def test_bound_below_truth(self):
+        from repro.core import value_iteration
+
+        pts = compile_source(chain(0.01, 15), name="c3").pts
+        cert = polynomial_exp_low_syn(pts, degree=1)
+        vi = value_iteration(pts)
+        assert cert.bound <= vi.upper + 1e-9

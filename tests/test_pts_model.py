@@ -1,0 +1,209 @@
+"""Tests for the PTS model, builder and validation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ModelError
+from repro.polyhedra import AffineIneq, Polyhedron, var
+from repro.pts import (
+    FAIL,
+    TERM,
+    AffineUpdate,
+    Fork,
+    PTS,
+    PTSBuilder,
+    Transition,
+    bernoulli,
+    validate_pts,
+)
+
+
+def make_race() -> PTS:
+    """The tortoise-hare race of Figure 1."""
+    b = PTSBuilder(["x", "y"], init={"x": 40, "y": 0}, name="race")
+    b.transition(
+        "head",
+        guard=[b.le(var("x"), 99), b.le(var("y"), 99)],
+        forks=[
+            ("head", "1/2", {"x": var("x") + 1, "y": var("y") + 2}),
+            ("head", "1/2", {"x": var("x") + 1}),
+        ],
+    )
+    b.goto("head", TERM, guard=[b.ge(var("x"), 100)])
+    b.transition(
+        "head",
+        guard=[b.le(var("x"), 99), b.ge(var("y"), 100)],
+        forks=[(FAIL, 1, {})],
+    )
+    return b.build(init_location="head")
+
+
+class TestAffineUpdate:
+    def test_identity(self):
+        upd = AffineUpdate.identity()
+        assert upd.apply({"x": Fraction(3)}) == {"x": 3}
+
+    def test_simultaneous_assignment(self):
+        # swap is the classic test of tuple-assignment semantics
+        upd = AffineUpdate({"x": var("y"), "y": var("x")})
+        assert upd.apply({"x": Fraction(1), "y": Fraction(2)}) == {"x": 2, "y": 1}
+
+    def test_with_sampling_variable(self):
+        upd = AffineUpdate({"x": var("x") + var("r")})
+        out = upd.apply({"x": Fraction(1)}, {"r": Fraction(5)})
+        assert out == {"x": 6}
+
+    def test_apply_float(self):
+        upd = AffineUpdate({"x": var("x") * 2})
+        assert upd.apply_float({"x": 1.5}) == {"x": 3.0}
+
+    def test_matrices(self):
+        upd = AffineUpdate({"x": var("x") + var("r") * 2 + 7})
+        q, r, e = upd.matrices(["x", "y"], ["r"])
+        assert q == [[1, 0], [0, 1]]
+        assert r == [[2], [0]]
+        assert e == [7, 0]
+
+    def test_repr(self):
+        assert "identity" in repr(AffineUpdate.identity())
+
+
+class TestForkAndTransition:
+    def test_fork_probability_range(self):
+        with pytest.raises(ModelError):
+            Fork("a", 0)
+        with pytest.raises(ModelError):
+            Fork("a", "3/2")
+
+    def test_transition_probability_sum(self):
+        guard = Polyhedron.universe(["x"])
+        with pytest.raises(ModelError):
+            Transition("a", guard, [Fork("b", "1/2")])
+
+    def test_transition_ok(self):
+        guard = Polyhedron.universe(["x"])
+        t = Transition("a", guard, [Fork("b", "1/2"), Fork("c", "1/2")])
+        assert len(t.forks) == 2
+
+
+class TestPTSConstruction:
+    def test_race_shape(self):
+        pts = make_race()
+        assert pts.program_vars == ("x", "y")
+        assert set(pts.interior_locations) == {"head"}
+        assert len(pts.transitions_from("head")) == 3
+        assert pts.is_sink(TERM) and pts.is_sink(FAIL)
+        assert not pts.is_sink("head")
+        assert pts.max_fork_count() == 2
+
+    def test_transition_from_sink_rejected(self):
+        b = PTSBuilder(["x"], init={"x": 0})
+        b.goto(TERM, "a")
+        with pytest.raises(ModelError):
+            b.build(init_location="a")
+
+    def test_unknown_update_target_rejected(self):
+        b = PTSBuilder(["x"], init={"x": 0})
+        b.goto("a", TERM, update={"zz": var("x")})
+        with pytest.raises(ModelError):
+            b.build(init_location="a")
+
+    def test_undeclared_sampling_var_rejected(self):
+        b = PTSBuilder(["x"], init={"x": 0})
+        b.goto("a", TERM, update={"x": var("r")})
+        with pytest.raises(ModelError):
+            b.build(init_location="a")
+
+    def test_declared_sampling_var_ok(self):
+        b = PTSBuilder(["x"], init={"x": 0})
+        b.sampling("r", bernoulli("1/2"))
+        b.goto("a", TERM, update={"x": var("r")})
+        pts = b.build(init_location="a")
+        assert pts.sampling_vars == ("r",)
+
+    def test_name_collision_rejected(self):
+        b = PTSBuilder(["x"], init={"x": 0})
+        with pytest.raises(ModelError):
+            b.sampling("x", bernoulli("1/2"))
+            b.goto("a", TERM)
+            b.build(init_location="a")
+
+    def test_missing_init_valuation(self):
+        b = PTSBuilder(["x", "y"], init={"x": 0})
+        b.goto("a", TERM)
+        with pytest.raises(ModelError):
+            b.build(init_location="a")
+
+    def test_guard_over_nonprogram_variable_rejected(self):
+        guard = Polyhedron(["x", "w"], [AffineIneq.le(var("w"), 0)])
+        with pytest.raises(ModelError):
+            PTS(
+                ["x"],
+                "a",
+                {"x": 0},
+                [Transition("a", guard, [Fork(TERM, 1)])],
+            )
+
+    def test_enabled_transition_picks_matching_guard(self):
+        pts = make_race()
+        t = pts.enabled_transition("head", {"x": 50.0, "y": 0.0})
+        assert t is not None and len(t.forks) == 2
+        t2 = pts.enabled_transition("head", {"x": 100.0, "y": 0.0})
+        assert t2 is not None and t2.forks[0].destination == TERM
+
+    def test_enabled_transition_none_outside_cover(self):
+        b = PTSBuilder(["x"], init={"x": 0})
+        b.goto("a", TERM, guard=[b.le(var("x"), 0)])
+        pts = b.build(init_location="a")
+        assert pts.enabled_transition("a", {"x": 5.0}) is None
+
+    def test_pretty_output(self):
+        text = make_race().pretty()
+        assert "program vars : x, y" in text
+        assert "w.p. 1/2" in text
+
+
+class TestValidation:
+    def test_race_validates(self):
+        report = validate_pts(make_race(), region={"x": (0, 120), "y": (0, 120)})
+        assert report.ok
+        report.raise_if_bad()
+
+    def test_overlapping_guards_detected(self):
+        b = PTSBuilder(["x"], init={"x": 0})
+        b.goto("a", TERM, guard=[b.le(var("x"), 10)])
+        b.goto("a", FAIL, guard=[b.le(var("x"), 5)])
+        report = validate_pts(b.build(init_location="a"), check_complete=False)
+        assert not report.exclusive
+        with pytest.raises(ModelError):
+            report.raise_if_bad()
+
+    def test_boundary_overlap_tolerated(self):
+        # closed complement convention: x <= 10 and x >= 10 share only x = 10
+        b = PTSBuilder(["x"], init={"x": 0})
+        b.goto("a", TERM, guard=[b.le(var("x"), 10)])
+        b.goto("a", FAIL, guard=[b.ge(var("x"), 10)])
+        report = validate_pts(b.build(init_location="a"))
+        assert report.exclusive and report.complete
+
+    def test_incomplete_cover_detected(self):
+        # the initial state x = 5 reaches location 'a' with no enabled guard
+        b = PTSBuilder(["x"], init={"x": 5})
+        b.goto("a", TERM, guard=[b.le(var("x"), 0)])
+        report = validate_pts(b.build(init_location="a"))
+        assert not report.complete
+
+    def test_incomplete_cover_after_step_detected(self):
+        # covered at init but the successor x = 1 falls outside every guard
+        b = PTSBuilder(["x"], init={"x": 0})
+        b.goto("a", "a", guard=[b.le(var("x"), 0)], update={"x": var("x") + 1})
+        report = validate_pts(b.build(init_location="a"))
+        assert not report.complete
+
+    def test_missing_transitions_detected(self):
+        b = PTSBuilder(["x"], init={"x": 0})
+        b.goto("a", "b")
+        report = validate_pts(b.build(init_location="a"))
+        assert not report.complete
+        assert any("no outgoing" in p for p in report.problems)

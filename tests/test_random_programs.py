@@ -1,0 +1,120 @@
+"""Grammar-based random program generation + differential testing.
+
+A small random program generator produces syntactically valid surface
+programs; each one is pushed through the whole stack and checked for
+internal consistency:
+
+* the compiled PTS validates (exclusive + complete guards);
+* the pretty-printer round-trips behaviourally;
+* simulation statistics fall inside the value-iteration bracket;
+* synthesized upper bounds dominate the bracket's lower edge.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SynthesisError
+from repro.lang import compile_source, parse_program, pretty
+from repro.pts import simulate, validate_pts
+from repro.core import exp_lin_syn, value_iteration
+
+
+class ProgramGenerator:
+    """Generates random bounded probabilistic programs.
+
+    All loops are bounded by a fuel variable so value iteration terminates;
+    probabilities are multiples of 1/8; updates are small integer shifts.
+    """
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.variables = ["a", "b"]
+
+    def expr(self, variable: str) -> str:
+        shift = self.rng.randint(-2, 3)
+        sign = "+" if shift >= 0 else "-"
+        return f"{variable} {sign} {abs(shift)}"
+
+    def assignment(self, indent: str) -> str:
+        v = self.rng.choice(self.variables)
+        return f"{indent}{v} := {self.expr(v)}"
+
+    def prob_branch(self, indent: str, depth: int) -> str:
+        eighths = self.rng.randint(1, 7)
+        body1 = self.block(indent + "    ", depth - 1)
+        body2 = self.block(indent + "    ", depth - 1)
+        return (
+            f"{indent}if prob({eighths}/8):\n{body1}\n{indent}else:\n{body2}"
+        )
+
+    def switch(self, indent: str) -> str:
+        lines = [f"{indent}switch:"]
+        for p, shift in ((4, 1), (4, -1)):
+            v = self.rng.choice(self.variables)
+            lines.append(f"{indent}    prob({p}/8): {v} := {v} + {shift}")
+        return "\n".join(lines)
+
+    def block(self, indent: str, depth: int) -> str:
+        choices = [self.assignment, self.switch]
+        if depth > 0:
+            choices.append(lambda ind: self.prob_branch(ind, depth))
+        picked = self.rng.choice(choices)
+        return picked(indent)
+
+    def program(self) -> str:
+        fuel = self.rng.randint(4, 10)
+        threshold = self.rng.randint(0, 4)
+        body = self.block("    ", depth=2)
+        comparison = self.rng.choice(["<=", ">="])
+        return (
+            "a := 0\n"
+            "b := 0\n"
+            "fuel := 0\n"
+            f"while fuel <= {fuel}:\n"
+            f"{body}\n"
+            "    fuel := fuel + 1\n"
+            f"assert a {comparison} {threshold}"
+        )
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_random_program_pipeline(seed):
+    rng = random.Random(seed)
+    source = ProgramGenerator(rng).program()
+    result = compile_source(source, name=f"rand{seed}")
+    pts = result.pts
+
+    report = validate_pts(pts)
+    assert report.ok, f"{report.problems}\n{source}"
+
+    # value iteration closes (fuel-bounded program)
+    vi = value_iteration(pts, max_states=120_000)
+    assert vi.tight, source
+    vpf = 0.5 * (vi.lower + vi.upper)
+
+    # simulation agrees within its confidence interval
+    sim = simulate(pts, episodes=1200, seed=seed)
+    lo, hi = sim.violation_interval()
+    assert lo - 1e-9 <= vpf <= hi + 1e-9, source
+
+    # the complete algorithm upper-bounds the truth
+    cert = exp_lin_syn(pts)
+    assert cert.bound >= vpf - 1e-9, source
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_random_program_pretty_roundtrip(seed):
+    rng = random.Random(seed)
+    source = ProgramGenerator(rng).program()
+    text = pretty(parse_program(source))
+    a = compile_source(source, name="orig").pts
+    b = compile_source(text, name="rt").pts
+    ra = simulate(a, episodes=600, seed=7)
+    rb = simulate(b, episodes=600, seed=7)
+    assert ra.violations == rb.violations
+    assert ra.total_steps == rb.total_steps

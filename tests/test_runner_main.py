@@ -1,0 +1,30 @@
+"""Tests for the experiment runner's command-line entry point."""
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+class TestRunnerMain:
+    def test_table2_end_to_end(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        # all nine hardware rows present with their paper references
+        for name in ("M1DWalk", "Newton", "Ref"):
+            assert out.count(name) == 3
+        assert "0.998463" in out  # Ref p=1e-7 matches the paper digits
+
+    def test_table1_family_filter_without_slow_columns(self, capsys):
+        assert main(["table1", "StoInv", "--no-hoeffding", "--no-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "Race" in out and "1DWalk" in out
+        assert "RdAdder" not in out  # Deviation family filtered out
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tableX"])
+
+    def test_requires_target(self):
+        with pytest.raises(SystemExit):
+            main([])

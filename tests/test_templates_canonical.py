@@ -1,0 +1,185 @@
+"""Tests for exponential templates and constraint canonicalization."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ModelError
+from repro.lang import compile_source
+from repro.polyhedra.linexpr import var
+from repro.core.canonical import canonicalize
+from repro.core.invariants import InvariantMap, generate_interval_invariants
+from repro.core.templates import ExpStateFunction, ExpTemplate
+
+RACE = """
+x := 40
+y := 0
+while x <= 99 and y <= 99:
+    if prob(0.5):
+        x, y := x + 1, y + 2
+    else:
+        x := x + 1
+assert x >= 100
+"""
+
+
+def race_pts():
+    return compile_source(RACE, name="race").pts
+
+
+class TestExpTemplate:
+    def test_unknown_names_unique(self):
+        pts = race_pts()
+        t = ExpTemplate(pts)
+        names = t.unknowns()
+        assert len(names) == len(set(names))
+        assert len(names) == len(t.locations) * (len(pts.program_vars) + 1)
+
+    def test_include_sinks_adds_rows(self):
+        pts = race_pts()
+        with_sinks = ExpTemplate(pts, include_sinks=True)
+        without = ExpTemplate(pts, include_sinks=False)
+        assert len(with_sinks.locations) == len(without.locations) + 2
+
+    def test_eta_at_builds_affine_expression(self):
+        pts = race_pts()
+        t = ExpTemplate(pts)
+        loc = pts.init_location
+        expr = t.eta_at(loc, {"x": Fraction(40), "y": Fraction(0)})
+        assert expr.coeff(t.a_name(loc, "x")) == 40
+        assert expr.coeff(t.b_name(loc)) == 1
+
+    def test_unknown_location_rejected(self):
+        pts = race_pts()
+        t = ExpTemplate(pts)
+        with pytest.raises(ModelError):
+            t.coeff(pts.term_location, "x")
+
+    def test_instantiate_defaults_to_zero(self):
+        pts = race_pts()
+        sf = ExpTemplate(pts).instantiate({})
+        assert sf.exponent(pts.init_location, {"x": 1.0, "y": 1.0}) == 0.0
+
+
+class TestExpStateFunction:
+    def test_sink_conventions(self):
+        pts = race_pts()
+        sf = ExpTemplate(pts).instantiate({})
+        assert sf.log_value(pts.term_location, {"x": 0, "y": 0}) == float("-inf")
+        assert sf.log_value(pts.fail_location, {"x": 0, "y": 0}) == 0.0
+        assert sf.value(pts.term_location, {"x": 0, "y": 0}) == 0.0
+        assert sf.value(pts.fail_location, {"x": 0, "y": 0}) == 1.0
+
+    def test_exponent_evaluation(self):
+        pts = race_pts()
+        t = ExpTemplate(pts)
+        loc = pts.init_location
+        sf = t.instantiate({t.a_name(loc, "x"): -1.0, t.b_name(loc): 5.0})
+        assert sf.exponent(loc, {"x": 2.0, "y": 9.0}) == pytest.approx(3.0)
+        assert sf.value(loc, {"x": 2.0, "y": 9.0}) == pytest.approx(math.exp(3.0))
+
+    def test_unknown_location_raises(self):
+        pts = race_pts()
+        sf = ExpTemplate(pts).instantiate({})
+        with pytest.raises(ModelError):
+            sf.log_value("nowhere", {})
+
+    def test_render(self):
+        pts = race_pts()
+        t = ExpTemplate(pts)
+        loc = pts.init_location
+        sf = t.instantiate({t.a_name(loc, "x"): -1.19, t.b_name(loc): 31.79})
+        out = sf.render(loc)
+        assert out.startswith("exp(") and "1.19*x" in out and "31.8" in out
+
+    def test_render_zero(self):
+        pts = race_pts()
+        sf = ExpTemplate(pts).instantiate({})
+        assert sf.render(pts.init_location) == "exp(0)"
+
+
+class TestCanonicalize:
+    def test_race_structure(self):
+        pts = race_pts()
+        inv = generate_interval_invariants(pts)
+        template = ExpTemplate(pts)
+        cons = canonicalize(pts, inv, template)
+        by_forks = sorted(len(c.terms) for c in cons)
+        # loop body transition has 2 exponential terms; fail edge has 1;
+        # pure-termination edges have 0 terms
+        assert by_forks[-1] == 2
+        assert 1 in by_forks
+        assert 0 in by_forks
+
+    def test_term_fork_dropped_and_counted(self):
+        src = (
+            "const p = 0.25\n"
+            "x := 1\n"
+            "while x <= 9:\n"
+            "  switch:\n"
+            "    prob(p): exit\n"
+            "    prob(1 - p): x := x + 1\n"
+            "assert false"
+        )
+        pts = compile_source(src, name="drop").pts
+        inv = generate_interval_invariants(pts)
+        cons = canonicalize(pts, inv, ExpTemplate(pts))
+        switch_cons = [c for c in cons if c.dropped_probability > 0]
+        assert switch_cons
+        assert switch_cons[0].dropped_probability == Fraction(1, 4)
+
+    def test_fail_fork_has_negated_source_template(self):
+        pts = race_pts()
+        inv = generate_interval_invariants(pts)
+        template = ExpTemplate(pts)
+        cons = canonicalize(pts, inv, template)
+        fail_terms = [
+            t
+            for c in cons
+            for t in c.terms
+            if t.destination == pts.fail_location
+        ]
+        assert fail_terms
+        term = fail_terms[0]
+        # alpha = -a_src exactly
+        src = [c for c in cons for t in c.terms if t is term][0].source
+        assert term.alpha["x"] == -template.coeff(src, "x")
+        assert term.beta == -template.const(src)
+
+    def test_update_coefficients_propagate(self):
+        pts = race_pts()
+        inv = generate_interval_invariants(pts)
+        template = ExpTemplate(pts)
+        cons = canonicalize(pts, inv, template)
+        body = [c for c in cons if len(c.terms) == 2][0]
+        # fork x,y := x+1,y+2 contributes beta = a_dst_x + 2 a_dst_y + b_dst - b_src
+        dst = body.terms[0].destination
+        beta = body.terms[0].beta
+        assert beta.coeff(template.a_name(dst, "x")) in (1, 1)
+        coeffs = sorted(
+            abs(beta.coeff(template.a_name(dst, v))) for v in ("x", "y")
+        )
+        assert coeffs == [1, 2] or coeffs == [1, 1]
+
+    def test_vacuous_transitions_skipped(self):
+        pts = race_pts()
+        # an invariant claiming x >= 1000 at the head makes guards unsatisfiable
+        from repro.polyhedra import Polyhedron
+
+        inv = InvariantMap(pts, {pts.init_location: Polyhedron.from_box({"x": (1000, None)})})
+        template = ExpTemplate(pts)
+        restricted = canonicalize(pts, inv, template)
+        full = canonicalize(pts, InvariantMap(pts), template)
+        # the loop-enter and fail transitions (x <= 99) become vacuous
+        assert len(restricted) < len(full)
+        assert all(not c.psi.is_empty() for c in restricted)
+
+    def test_alpha_at_point(self):
+        pts = race_pts()
+        inv = generate_interval_invariants(pts)
+        template = ExpTemplate(pts)
+        cons = canonicalize(pts, inv, template)
+        body = [c for c in cons if len(c.terms) == 2][0]
+        point = {v: Fraction(0) for v in pts.program_vars}
+        assert body.terms[0].alpha_at(point) == body.terms[0].beta

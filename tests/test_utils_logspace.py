@@ -1,0 +1,94 @@
+"""Tests for stable log-space math."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.logspace import (
+    format_log_bound,
+    log1mexp,
+    log_diff_exp,
+    log_sum_exp,
+    weighted_log_sum_exp,
+)
+
+
+class TestLogSumExp:
+    def test_empty(self):
+        assert log_sum_exp([]) == float("-inf")
+
+    def test_single(self):
+        assert log_sum_exp([2.5]) == pytest.approx(2.5)
+
+    def test_matches_direct(self):
+        vals = [0.1, -1.0, 2.0]
+        direct = math.log(sum(math.exp(v) for v in vals))
+        assert log_sum_exp(vals) == pytest.approx(direct)
+
+    def test_huge_negative_values(self):
+        # exp(-5000) underflows doubles; LSE must still be exact in log space
+        assert log_sum_exp([-5000.0, -5001.0]) == pytest.approx(
+            -5000.0 + math.log(1 + math.exp(-1.0))
+        )
+
+    def test_all_neg_inf(self):
+        assert log_sum_exp([float("-inf")] * 3) == float("-inf")
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=8))
+    def test_dominates_max(self, vals):
+        out = log_sum_exp(vals)
+        assert out >= max(vals) - 1e-12
+        assert out <= max(vals) + math.log(len(vals)) + 1e-12
+
+
+class TestWeightedLogSumExp:
+    def test_weights(self):
+        out = weighted_log_sum_exp([(0.5, 0.0), (0.5, 0.0)])
+        assert out == pytest.approx(0.0)
+
+    def test_zero_weight_skipped(self):
+        out = weighted_log_sum_exp([(0.0, 100.0), (1.0, 1.0)])
+        assert out == pytest.approx(1.0)
+
+
+class TestLog1mexp:
+    def test_requires_negative(self):
+        with pytest.raises(ValueError):
+            log1mexp(0.0)
+
+    @given(st.floats(min_value=-50, max_value=-1e-6))
+    def test_matches_direct(self, x):
+        direct = math.log1p(-math.exp(x))
+        assert log1mexp(x) == pytest.approx(direct, rel=1e-9, abs=1e-12)
+
+
+class TestLogDiffExp:
+    def test_order_enforced(self):
+        with pytest.raises(ValueError):
+            log_diff_exp(1.0, 1.0)
+
+    def test_matches_direct(self):
+        assert log_diff_exp(2.0, 1.0) == pytest.approx(
+            math.log(math.exp(2.0) - math.exp(1.0))
+        )
+
+
+class TestFormatLogBound:
+    def test_zero(self):
+        assert format_log_bound(float("-inf")) == "0"
+
+    def test_one(self):
+        assert format_log_bound(0.0) == "1"
+
+    def test_scientific(self):
+        assert format_log_bound(math.log(1.5e-7)) == "1.500e-07"
+
+    def test_tiny_uses_power_notation(self):
+        # exp(-5000) ~ 10^-2171; not representable as a double
+        out = format_log_bound(-5000.0)
+        assert "e-217" in out
+
+    def test_greater_than_one(self):
+        assert "exp(" in format_log_bound(3.0)

@@ -1,0 +1,86 @@
+"""Tests for exact rational helpers."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.numbers import as_fraction, fraction_gcd, is_integral, normalize_row
+
+
+class TestAsFraction:
+    def test_int(self):
+        assert as_fraction(3) == Fraction(3)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(2, 7)
+        assert as_fraction(f) is f
+
+    def test_decimal_float_uses_repr(self):
+        assert as_fraction(0.1) == Fraction(1, 10)
+        assert as_fraction(0.75) == Fraction(3, 4)
+
+    def test_string(self):
+        assert as_fraction("3/4") == Fraction(3, 4)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            as_fraction(float("nan"))
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            as_fraction(float("inf"))
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction(object())
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=64))
+    def test_float_roundtrip(self, x):
+        assert float(as_fraction(x)) == x
+
+
+class TestFractionGcd:
+    def test_all_zero(self):
+        assert fraction_gcd([Fraction(0), Fraction(0)]) == 0
+
+    def test_integers(self):
+        assert fraction_gcd([Fraction(4), Fraction(6)]) == 2
+
+    def test_fractions(self):
+        assert fraction_gcd([Fraction(1, 2), Fraction(1, 3)]) == Fraction(1, 6)
+
+    def test_sign_insensitive(self):
+        assert fraction_gcd([Fraction(-4), Fraction(6)]) == 2
+
+    @given(st.lists(st.fractions(max_denominator=50), min_size=1, max_size=5))
+    def test_gcd_divides_all(self, values):
+        g = fraction_gcd(values)
+        if g == 0:
+            assert all(v == 0 for v in values)
+        else:
+            for v in values:
+                assert (v / g).denominator == 1
+
+
+class TestNormalizeRow:
+    def test_zero_row(self):
+        row = [Fraction(0), Fraction(0)]
+        assert normalize_row(row) == row
+
+    def test_direction_preserved(self):
+        row = [Fraction(-2), Fraction(4)]
+        assert normalize_row(row) == [Fraction(-1), Fraction(2)]
+
+    @given(st.lists(st.fractions(max_denominator=20), min_size=1, max_size=4))
+    def test_normalized_is_integral_with_gcd_one(self, row):
+        out = normalize_row(row)
+        if any(v != 0 for v in row):
+            assert all(v.denominator == 1 for v in out)
+            assert fraction_gcd(out) == 1
+
+
+def test_is_integral():
+    assert is_integral(Fraction(4))
+    assert not is_integral(Fraction(1, 2))

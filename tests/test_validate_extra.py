@@ -1,0 +1,128 @@
+"""Additional tests for PTS validation and compiler clean-up passes."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang import compile_source
+from repro.polyhedra import var
+from repro.pts import FAIL, TERM, PTSBuilder, bernoulli, validate_pts
+
+
+class TestFlatteningPass:
+    def test_nested_switch_flattens_to_single_transition(self):
+        src = (
+            "x := 0\n"
+            "while x >= 0 and x <= 99:\n"
+            "    if prob(0.9):\n"
+            "        switch:\n"
+            "            prob(0.5): x := x - 1\n"
+            "            prob(0.5): x := x - 2\n"
+            "    else:\n"
+            "        x := x + 1\n"
+            "assert x >= 100"
+        )
+        pts = compile_source(src, name="nested").pts
+        # the nested probability tree collapses into one 3-fork transition
+        assert len(pts.interior_locations) == 1
+        loop = [t for t in pts.transitions if len(t.forks) == 3]
+        assert loop
+        probs = sorted(f.probability for f in loop[0].forks)
+        assert probs == [Fraction(1, 10), Fraction(9, 20), Fraction(9, 20)]
+
+    def test_flattening_preserves_distribution(self):
+        from repro.pts import simulate
+
+        src_nested = (
+            "x := 0\nn := 0\n"
+            "while n <= 19:\n"
+            "    if prob(0.5):\n"
+            "        switch:\n"
+            "            prob(0.5): x, n := x + 1, n + 1\n"
+            "            prob(0.5): x, n := x - 1, n + 1\n"
+            "    else:\n"
+            "        n := n + 1\n"
+            "assert x <= 2"
+        )
+        pts = compile_source(src_nested, name="flat").pts
+        r = simulate(pts, episodes=4000, seed=21)
+        # X = sum of 20 steps in {-1,0,+1} w.p. .25/.5/.25; Pr[X >= 3] = 0.2148
+        assert r.violation_rate == pytest.approx(0.2148, abs=0.03)
+
+    def test_sampling_conflict_blocks_flattening(self):
+        # two consecutive draws of the same sampling variable must not fuse
+        src = (
+            "r ~ bernoulli(0.5)\n"
+            "a := 0\nb := 0\n"
+            "a := a + r\n"
+            "b := b + r\n"
+            "assert a + b <= 1"
+        )
+        pts = compile_source(src, name="twodraws").pts
+        from repro.pts import simulate
+
+        rate = simulate(pts, episodes=8000, seed=3).violation_rate
+        assert rate == pytest.approx(0.25, abs=0.03)
+
+
+class TestGuardChainPass:
+    def test_assert_after_loop_becomes_direct_edges(self):
+        src = (
+            "x := 40\ny := 0\n"
+            "while x <= 99 and y <= 99:\n"
+            "    if prob(0.5):\n"
+            "        x, y := x + 1, y + 2\n"
+            "    else:\n"
+            "        x := x + 1\n"
+            "assert x >= 100"
+        )
+        pts = compile_source(src, name="race").pts
+        # a direct head -> fail edge guarded by (x <= 99 and y >= 100)
+        fail_edges = [
+            t
+            for t in pts.transitions
+            if any(f.destination == FAIL for f in t.forks)
+        ]
+        assert fail_edges
+        guard = fail_edges[0].guard
+        assert guard.contains({"x": 99, "y": 100})
+        assert not guard.contains({"x": 100, "y": 100})
+
+    def test_weakest_precondition_through_update(self):
+        # assert on a post-assignment value must pull back through the update
+        src = "x := 0\nx := x + 5\nassert x <= 4"
+        pts = compile_source(src, name="wp").pts
+        from repro.pts import simulate
+
+        assert simulate(pts, episodes=10, seed=0).violation_rate == 1.0
+
+
+class TestValidationEdgeCases:
+    def test_guard_dedupe_in_polyhedron(self):
+        from repro.polyhedra import AffineIneq, Polyhedron
+
+        ineq = AffineIneq.le(var("x"), 5)
+        p = Polyhedron(["x"], [ineq, ineq, ineq])
+        assert len(p.inequalities) == 1
+
+    def test_trivially_true_inequalities_dropped(self):
+        from repro.polyhedra import AffineIneq, Polyhedron
+        from repro.polyhedra.linexpr import LinExpr
+
+        p = Polyhedron(["x"], [AffineIneq(LinExpr.constant(-3))])
+        assert not p.inequalities
+
+    def test_constant_false_inequality_kept(self):
+        from repro.polyhedra import AffineIneq, Polyhedron
+        from repro.polyhedra.linexpr import LinExpr
+
+        p = Polyhedron(["x"], [AffineIneq(LinExpr.constant(1))])
+        assert p.is_empty()
+
+    def test_builder_guard_accepts_eq_pairs(self):
+        b = PTSBuilder(["x"], init={"x": 0})
+        b.transition("a", guard=[b.eq(var("x"), 0)], forks=[(TERM, 1, {})])
+        b.transition("a", guard=[b.ge(var("x"), 1)], forks=[(FAIL, 1, {})])
+        b.transition("a", guard=[b.le(var("x"), -1)], forks=[(FAIL, 1, {})])
+        pts = b.build(init_location="a")
+        assert validate_pts(pts).ok

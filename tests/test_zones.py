@@ -1,0 +1,183 @@
+"""Tests for the zone (DBM) abstract domain."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import compile_source
+from repro.polyhedra import AffineIneq, var
+from repro.polyhedra.linexpr import LinExpr
+from repro.core.zones import Zone, generate_zone_invariants
+
+
+def F(x):
+    return Fraction(x)
+
+
+class TestZoneBasics:
+    def test_from_point(self):
+        z = Zone.from_point(["x", "y"], {"x": F(1), "y": F(2)})
+        p = z.to_polyhedron()
+        assert p.contains({"x": 1, "y": 2})
+        assert not p.contains({"x": 2, "y": 2})
+
+    def test_top_contains_everything(self):
+        z = Zone.top(["x"])
+        assert z.to_polyhedron().contains({"x": 10**9})
+
+    def test_meet_atom_single_variable(self):
+        z = Zone.top(["x"]).meet_atom(var("x") - 5)  # x <= 5
+        p = z.to_polyhedron()
+        assert p.contains({"x": 5}) and not p.contains({"x": 6})
+
+    def test_meet_atom_difference(self):
+        z = Zone.top(["x", "y"]).meet_atom(var("x") - var("y") - 3)  # x - y <= 3
+        p = z.to_polyhedron()
+        assert p.contains({"x": 3, "y": 0})
+        assert not p.contains({"x": 4, "y": 0})
+
+    def test_meet_atom_unsupported_shape_is_ignored(self):
+        z = Zone.top(["x", "y"]).meet_atom(var("x") + var("y") - 3)
+        assert z.to_polyhedron().contains({"x": 100, "y": 100})  # soundly top
+
+    def test_inconsistent_zone_is_bottom(self):
+        z = Zone.top(["x"]).meet_atom(var("x") - 1).meet_atom(-var("x") + 2)
+        assert z.is_bottom
+        assert z.to_polyhedron().is_empty()
+
+    def test_closure_propagates(self):
+        # x - y <= 1 and y <= 2 implies x <= 3
+        z = Zone.top(["x", "y"]).meet_atom(var("x") - var("y") - 1).meet_atom(var("y") - 2)
+        p = z.to_polyhedron()
+        assert p.implies(AffineIneq.le(var("x"), 3))
+
+
+class TestZoneLattice:
+    def test_join_is_upper_bound(self):
+        a = Zone.from_point(["x"], {"x": F(1)})
+        b = Zone.from_point(["x"], {"x": F(5)})
+        j = a.join(b)
+        p = j.to_polyhedron()
+        assert p.contains({"x": 1}) and p.contains({"x": 5})
+        assert not p.contains({"x": 6})
+
+    def test_join_with_bottom(self):
+        a = Zone.from_point(["x"], {"x": F(1)})
+        bot = Zone.top(["x"]).meet_atom(var("x") - 0).meet_atom(-var("x") + 1)
+        assert bot.is_bottom
+        assert a.join(bot).to_polyhedron().contains({"x": 1})
+        assert bot.join(a).to_polyhedron().contains({"x": 1})
+
+    def test_le(self):
+        small = Zone.from_point(["x"], {"x": F(1)})
+        big = Zone.top(["x"]).meet_atom(var("x") - 5).meet_atom(-var("x"))
+        assert small.le(big)
+        assert not big.le(small)
+
+    def test_widen_jumps_to_threshold(self):
+        old = Zone.top(["x"]).meet_atom(var("x") - 3).close()
+        new = Zone.top(["x"]).meet_atom(var("x") - 4).close()
+        widened = old.widen(new, thresholds=[F(10)])
+        p = widened.to_polyhedron()
+        assert p.implies(AffineIneq.le(var("x"), 10))
+        assert not p.implies(AffineIneq.le(var("x"), 9))
+
+    def test_widen_to_infinity_without_threshold(self):
+        old = Zone.top(["x"]).meet_atom(var("x") - 3).close()
+        new = Zone.top(["x"]).meet_atom(var("x") - 4).close()
+        widened = old.widen(new, thresholds=[])
+        assert widened.to_polyhedron().contains({"x": 10**9})
+
+
+class TestZoneAssign:
+    def test_shift_is_exact(self):
+        z = Zone.from_point(["x"], {"x": F(3)})
+        z2 = z.assign({"x": var("x") + 2})
+        p = z2.to_polyhedron()
+        assert p.contains({"x": 5}) and not p.contains({"x": 4})
+
+    def test_copy_keeps_difference(self):
+        z = Zone.from_point(["x", "y"], {"x": F(0), "y": F(0)})
+        z2 = z.assign({"x": var("y") + 1})
+        p = z2.to_polyhedron()
+        assert p.implies(AffineIneq.le(var("x") - var("y"), 1))
+        assert p.implies(AffineIneq.ge(var("x") - var("y"), 1))
+
+    def test_simultaneous_swap(self):
+        z = Zone.from_point(["x", "y"], {"x": F(1), "y": F(2)})
+        z2 = z.assign({"x": var("y"), "y": var("x")})
+        p = z2.to_polyhedron()
+        assert p.contains({"x": 2, "y": 1})
+        assert not p.contains({"x": 1, "y": 2})
+
+    def test_parallel_increment_keeps_relation(self):
+        # x, y := x+1, y+2 from x=y=0 keeps y - x = x (i.e. y = 2x)? No —
+        # zones track y - x <= c: after the update the difference shifts by 1
+        z = Zone.from_point(["x", "y"], {"x": F(0), "y": F(0)})
+        z2 = z.assign({"x": var("x") + 1, "y": var("y") + 2})
+        p = z2.to_polyhedron()
+        assert p.implies(AffineIneq.le(var("y") - var("x"), 1))
+        assert p.implies(AffineIneq.ge(var("y") - var("x"), 1))
+
+    def test_interval_fallback_for_general_affine(self):
+        z = Zone.from_point(["x", "y"], {"x": F(1), "y": F(2)})
+        z2 = z.assign({"x": var("x") + var("y")})  # not zone-exact
+        p = z2.to_polyhedron()
+        assert p.contains({"x": 3, "y": 2})
+        assert not p.contains({"x": 4, "y": 2})
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    x0=st.integers(min_value=-5, max_value=5),
+    y0=st.integers(min_value=-5, max_value=5),
+    shift=st.integers(min_value=-3, max_value=3),
+)
+def test_zone_transfer_soundness_random(x0, y0, shift):
+    """Concrete execution must stay inside the abstract post-state."""
+    z = Zone.from_point(["x", "y"], {"x": F(x0), "y": F(y0)})
+    post = z.assign({"x": var("y") + shift, "y": var("x") + var("y")})
+    concrete = {"x": y0 + shift, "y": x0 + y0}
+    assert post.to_polyhedron().contains(concrete)
+
+
+class TestZoneInvariants:
+    def test_race_relational_fail_invariant(self):
+        src = (
+            "x := 40\ny := 0\n"
+            "while x <= 99 and y <= 99:\n"
+            "    if prob(0.5):\n"
+            "        x, y := x + 1, y + 2\n"
+            "    else:\n"
+            "        x := x + 1\n"
+            "assert x >= 100"
+        )
+        pts = compile_source(src, name="race").pts
+        inv = generate_zone_invariants(pts)
+        fail_inv = inv.of(pts.fail_location)
+        # zones capture the relational bound the box domain cannot:
+        # the hare's lead over the tortoise never exceeds 60 (start gap 40
+        # + at most +1 drift per step over at most ... steps)
+        assert fail_inv.implies(AffineIneq.le(var("y") - var("x"), 60))
+
+    def test_sound_on_trajectories(self):
+        for src_name in ("M1DWalk", "Race", "Rdwalk"):
+            from repro.programs import get_benchmark
+
+            inst = get_benchmark(src_name) if src_name != "Rdwalk" else get_benchmark(
+                src_name, n=400
+            )
+            inv = generate_zone_invariants(inst.pts)
+            assert inv.check_on_trajectories(episodes=40, seed=4) == []
+
+    def test_usable_by_synthesis(self):
+        from repro.core import exp_lin_syn
+        from repro.programs import get_benchmark
+
+        inst = get_benchmark("Race", x0=40, y0=0)
+        inv = generate_zone_invariants(inst.pts)
+        cert = exp_lin_syn(inst.pts, inv)
+        assert cert.bound < 1e-5  # at least as informative as intervals
