@@ -15,6 +15,8 @@ from fractions import Fraction
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from repro.core import (
     InvariantMap,
     azuma_baseline,

@@ -1,0 +1,60 @@
+"""Sparse fixpoint engine vs the legacy pure-Python reference.
+
+Times both engines on the three workload shapes that stress different
+paths — a tiny chain (call overhead), an iteration-heavy slow-mixing chain
+(the dense Gauss-Seidel operator path), and a state-heavy truncated walk
+(the CSR path) — asserting bracket agreement and recording every entry to
+``BENCH_fixpoint.json`` through the session recorder in ``conftest.py``.
+"""
+
+import time
+
+import pytest
+
+pytestmark = pytest.mark.bench
+
+from repro.lang import compile_source
+from repro.core.fixpoint import value_iteration
+from repro.core import fixpoint_reference
+from repro.experiments.fixpoint_bench import FIXPOINT_WORKLOADS
+
+
+@pytest.mark.parametrize("name", sorted(FIXPOINT_WORKLOADS))
+def test_sparse_engine_vs_reference(name, fixpoint_recorder, benchmark):
+    source, max_states = FIXPOINT_WORKLOADS[name]
+    pts = compile_source(source, name=name).pts
+
+    start = time.perf_counter()
+    fast = benchmark(lambda: value_iteration(pts, max_states=max_states))
+    sparse_seconds = time.perf_counter() - start
+    if benchmark.stats is not None:  # None under --benchmark-disable
+        sparse_seconds = benchmark.stats.stats.mean
+
+    start = time.perf_counter()
+    ref = fixpoint_reference.value_iteration(pts, max_states=max_states)
+    reference_seconds = time.perf_counter() - start
+
+    # the rewrite must not change the semantics: same explored fragment,
+    # same truncation, brackets equal to iteration tolerance
+    assert fast.states == ref.states
+    assert fast.truncated == ref.truncated
+    assert abs(fast.lower - ref.lower) <= 1e-9
+    assert abs(fast.upper - ref.upper) <= 1e-9
+
+    fixpoint_recorder(
+        {
+            "program": name,
+            "max_states": max_states,
+            "states": fast.states,
+            "iterations": fast.iterations,
+            "truncated": fast.truncated,
+            "lower": fast.lower,
+            "upper": fast.upper,
+            "sparse_seconds": round(sparse_seconds, 6),
+            "reference_seconds": round(reference_seconds, 6),
+            "speedup": round(reference_seconds / sparse_seconds, 2),
+            "bracket_error": max(
+                abs(fast.lower - ref.lower), abs(fast.upper - ref.upper)
+            ),
+        }
+    )

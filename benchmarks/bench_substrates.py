@@ -9,6 +9,8 @@ from fractions import Fraction
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from repro.lang import compile_source, parse_program
 from repro.numeric.lp import LinearProgram
 from repro.polyhedra import AffineIneq, Polyhedron, polyhedron_generators

@@ -6,6 +6,8 @@ representative coefficient values against the appendix rows.
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from repro.experiments.symbolic_tables import (
     run_symbolic_tables,
     symbolic_row_51,

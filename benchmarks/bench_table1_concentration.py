@@ -12,6 +12,8 @@ import math
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from repro.core import (
     cfnh18_concentration_bound,
     exp_lin_syn,

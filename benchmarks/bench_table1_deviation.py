@@ -12,6 +12,8 @@ import math
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from repro.core import cs13_deviation_bound, exp_lin_syn, hoeffding_synthesis
 from repro.programs import get_benchmark
 

@@ -13,6 +13,8 @@ import math
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from repro.core import azuma_baseline, exp_lin_syn, hoeffding_synthesis
 from repro.programs import get_benchmark
 

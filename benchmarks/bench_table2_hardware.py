@@ -15,6 +15,8 @@ import math
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from repro.core import exp_low_syn
 from repro.programs import get_benchmark
 

@@ -2,16 +2,28 @@
 
 Every bench regenerates one slice of the paper's evaluation and *asserts
 the qualitative shape* the paper claims (who wins, by roughly what factor)
-while pytest-benchmark records the runtime.  Run with::
+while pytest-benchmark records the runtime.  Benchmarks carry the ``bench``
+marker and are excluded from tier-1; run them with::
 
-    pytest benchmarks/ --benchmark-only
+    pytest -m bench benchmarks/ --benchmark-only
+
+``bench_fixpoint.py`` additionally records sparse-vs-reference fixpoint
+timings through the :func:`fixpoint_recorder` fixture; on session exit the
+collected entries are appended to ``BENCH_fixpoint.json`` next to the repo
+root, building a perf trajectory across runs (see ``PERFORMANCE.md``).
 """
 
 from __future__ import annotations
 
 import math
+from pathlib import Path
 
 import pytest
+
+#: fixpoint perf entries collected this session (see fixpoint_recorder)
+_FIXPOINT_RESULTS = []
+
+BENCH_FIXPOINT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fixpoint.json"
 
 
 def ln_ratio_log10(baseline_ln: float, ours_ln: float) -> float:
@@ -31,3 +43,18 @@ def paper_table2():
     from repro.experiments.reference import TABLE2
 
     return TABLE2
+
+
+@pytest.fixture(scope="session")
+def fixpoint_recorder():
+    """Append-callback for fixpoint perf entries; flushed at session end."""
+    return _FIXPOINT_RESULTS.append
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _FIXPOINT_RESULTS:
+        return
+    from repro.experiments.fixpoint_bench import append_bench_run
+
+    append_bench_run(BENCH_FIXPOINT_PATH, _FIXPOINT_RESULTS, source="pytest -m bench")
+    _FIXPOINT_RESULTS.clear()

@@ -7,6 +7,8 @@ Commands
 ``analyze``    synthesize assertion-violation bounds (upper and/or lower)
 ``simulate``   Monte-Carlo estimate of the violation probability
 ``exact``      value-iteration bracket on the violation probability
+``bench``      time the sparse fixpoint engine (vs the legacy reference)
+               and append the results to ``BENCH_fixpoint.json``
 
 Programs are written in the paper's surface syntax, e.g.::
 
@@ -117,6 +119,60 @@ def _cmd_exact(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import time
+    from pathlib import Path
+
+    from repro.lang import compile_source
+    from repro.core.fixpoint import value_iteration
+    from repro.core import fixpoint_reference
+    from repro.experiments.fixpoint_bench import FIXPOINT_WORKLOADS, append_bench_run
+
+    workloads = dict(FIXPOINT_WORKLOADS)
+    for path in args.files:
+        workloads[Path(path).stem] = (Path(path).read_text(), 20_000)
+
+    results = []
+    for name, (source, default_max_states) in workloads.items():
+        max_states = args.max_states or default_max_states
+        pts = compile_source(source, name=name, integer_mode=not args.real_valued).pts
+        start = time.perf_counter()
+        fast = value_iteration(pts, max_states=max_states)
+        fast_seconds = time.perf_counter() - start
+        entry = {
+            "program": name,
+            "max_states": max_states,
+            "states": fast.states,
+            "iterations": fast.iterations,
+            "truncated": fast.truncated,
+            "lower": fast.lower,
+            "upper": fast.upper,
+            "sparse_seconds": round(fast_seconds, 6),
+        }
+        if not args.skip_reference:
+            start = time.perf_counter()
+            ref = fixpoint_reference.value_iteration(pts, max_states=max_states)
+            ref_seconds = time.perf_counter() - start
+            entry["reference_seconds"] = round(ref_seconds, 6)
+            entry["speedup"] = round(ref_seconds / fast_seconds, 2) if fast_seconds else None
+            entry["bracket_error"] = max(
+                abs(fast.lower - ref.lower), abs(fast.upper - ref.upper)
+            )
+        results.append(entry)
+        line = f"{name:<14} states={entry['states']:>7} sparse={entry['sparse_seconds']:.3f}s"
+        if "speedup" in entry:
+            line += (
+                f" reference={entry['reference_seconds']:.3f}s"
+                f" speedup={entry['speedup']:.1f}x"
+                f" bracket_err={entry['bracket_error']:.2e}"
+            )
+        print(line)
+
+    run_count = append_bench_run(args.out, results, source="repro bench")
+    print(f"perf trajectory appended to {args.out} ({run_count} run(s))")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -157,6 +213,31 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_exact)
     p_exact.add_argument("--max-states", type=int, default=200_000)
     p_exact.set_defaults(fn=_cmd_exact)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark the fixpoint engine, append BENCH_fixpoint.json"
+    )
+    p_bench.add_argument(
+        "files", nargs="*", help="extra .prob programs to benchmark (optional)"
+    )
+    p_bench.add_argument(
+        "--real-valued",
+        action="store_true",
+        help="disable integer tightening of strict guards",
+    )
+    p_bench.add_argument(
+        "--max-states",
+        type=int,
+        default=None,
+        help="override every workload's state budget (default: per-workload)",
+    )
+    p_bench.add_argument(
+        "--skip-reference",
+        action="store_true",
+        help="time only the sparse engine (the reference is slow by design)",
+    )
+    p_bench.add_argument("--out", default="BENCH_fixpoint.json")
+    p_bench.set_defaults(fn=_cmd_bench)
     return parser
 
 

@@ -17,7 +17,13 @@ from repro.core.explinsyn import exp_lin_syn
 from repro.core.hoeffding import hoeffding_synthesis, azuma_baseline
 from repro.core.explowsyn import exp_low_syn
 from repro.core.termination import TerminationCertificate, prove_almost_sure_termination
-from repro.core.fixpoint import ValueIterationResult, value_iteration, exact_vpf
+from repro.core.fixpoint import (
+    SparseFixpointModel,
+    ValueIterationResult,
+    build_sparse_model,
+    exact_vpf,
+    value_iteration,
+)
 from repro.core.polynomial import (
     Polynomial,
     handelman_constraints,
@@ -57,6 +63,8 @@ __all__ = [
     "TerminationCertificate",
     "prove_almost_sure_termination",
     "ValueIterationResult",
+    "SparseFixpointModel",
+    "build_sparse_model",
     "value_iteration",
     "exact_vpf",
     "cs13_deviation_bound",

@@ -105,7 +105,10 @@ def _eliminate(
         if dec.is_empty:
             continue  # vacuous (the invariant proves the guard unreachable)
         label = f"{con.transition_name}#{k}"
-        # (D1): polar form of the cone condition, on the cone's generators.
+        # (D1): polar form of the cone condition, on the cone's generators;
+        # rows are collected per canonical constraint and emitted together.
+        d1_le: List[Tuple[LinExpr, str]] = []
+        d1_eq: List[Tuple[LinExpr, str]] = []
         for term_idx, term in enumerate(con.terms):
             for ray in dec.generators.rays:
                 expr = LinExpr.constant(0)
@@ -113,14 +116,16 @@ def _eliminate(
                     if coeff != 0:
                         expr = expr + term.alpha.get(v, LinExpr.constant(0)) * coeff
                 if not expr.is_zero:
-                    program.add_linear_le(expr, label=f"{label}:D1[{term_idx}]")
+                    d1_le.append((expr, f"{label}:D1[{term_idx}]"))
             for line in dec.generators.lines:
                 expr = LinExpr.constant(0)
                 for v, coeff in zip(dec.generators.variables, line):
                     if coeff != 0:
                         expr = expr + term.alpha.get(v, LinExpr.constant(0)) * coeff
                 if not expr.is_zero:
-                    program.add_linear_eq(expr, label=f"{label}:D1-line[{term_idx}]")
+                    d1_eq.append((expr, f"{label}:D1-line[{term_idx}]"))
+        program.add_linear_le_many(d1_le)
+        program.add_linear_eq_many(d1_eq)
         # (D2): the convex inequality at each generator point of the polytope.
         for p_idx, point in enumerate(dec.polytope_points):
             specs: List[Tuple[float, LinExpr, List]] = []

@@ -116,10 +116,9 @@ def exp_low_syn(
     for con in canonicalize(pts, invariants, template):
         constraints.extend(_jensen_strengthen(con, pts, encoder))
 
-    # Step 5: LP, maximizing the reported exponent
+    # Step 5: LP, maximizing the reported exponent (batched sparse assembly)
     lp = LinearProgram()
-    for c in constraints:
-        (lp.add_le if c.relation == "<=" else lp.add_eq)(c.expr, c.label)
+    lp.add_constraints(constraints)
     try:
         assignment = lp.solve(minimize=-template.eta_initial())
     except InfeasibleError:

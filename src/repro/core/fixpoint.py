@@ -15,6 +15,36 @@ bound against:
 When the reachable space overflows ``max_states``, overflow states are
 pessimized (0 in the lower pass, 1 in the upper pass), so the returned
 bracket remains rigorous.
+
+Engine architecture (see ``PERFORMANCE.md``)
+--------------------------------------------
+
+The reachable fragment is enumerated once by a state-interning BFS whose
+per-location transition logic is *compiled*: guards become float predicates
+and fork/draw updates become tuple-to-tuple stepper functions with the
+sampling draw substituted at compile time, so the inner loop does no dict
+construction and no ``LinExpr`` traversal.  The BFS emits COO triplets
+``(state, successor, probability)`` plus fail/terminate/overflow masks;
+both value-iteration passes then run as a single matrix-times-two-column
+product per sweep — ``scipy.sparse`` CSR for large systems, a dense
+``numpy`` matrix when the state count is small enough that sparse call
+overhead dominates — with a sup-norm convergence check.
+
+The legacy pure-Python engine is preserved in
+:mod:`repro.core.fixpoint_reference` and the equivalence suite keeps the
+two in lockstep.  The reference sweep updates states in place — a
+Gauss-Seidel schedule.  On the dense path the vectorized engine reproduces
+that schedule *exactly*: with ``A = L + U`` split at the strict lower
+triangle (in BFS state order), one in-place sweep is the affine map
+``x' = (I - L)^{-1} (U x + b)``, and ``(I - L)`` is unit lower triangular,
+hence always invertible, so we precompute ``G = (I - L)^{-1} U`` once and
+sweep with a single matvec.  Iteration counts and converged values then
+match the reference to float rounding.  The CSR path uses the simultaneous
+(Jacobi) schedule instead — same fixed point, monotone from the same
+lattice elements, but slow-mixing chains may need up to ~2x the sweeps of
+the reference to pass the same ``tol``; state spaces that large mix
+through their sinks quickly in practice, and ``max_iterations`` is cheap
+to raise now that a sweep is a matvec.
 """
 
 from __future__ import annotations
@@ -22,14 +52,28 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
 
 from repro.errors import ModelError
 from repro.pts.model import PTS
 
-__all__ = ["ValueIterationResult", "value_iteration", "exact_vpf"]
+__all__ = [
+    "ValueIterationResult",
+    "SparseFixpointModel",
+    "build_sparse_model",
+    "value_iteration",
+    "exact_vpf",
+]
 
 State = Tuple[str, Tuple[Fraction, ...]]
+
+#: below this many states a dense matrix beats CSR (per-call overhead of
+#: scipy.sparse matvecs dominates on iteration-heavy, state-light chains)
+#: and the exact Gauss-Seidel operator (n x n dense) is affordable
+_DENSE_STATE_LIMIT = 2048
 
 
 @dataclass
@@ -55,15 +99,79 @@ class ValueIterationResult:
         return self.lower - slack <= p <= self.upper + slack
 
 
-def _explore(
-    pts: PTS, max_states: int
-) -> Tuple[Dict[State, int], List[Optional[List[Tuple[float, int]]]], bool]:
-    """Enumerate reachable states; returns (index, successor lists, truncated).
+# ---------------------------------------------------------------------------
+# transition compilation: guards -> float predicates, updates -> steppers
+# ---------------------------------------------------------------------------
 
-    ``successors[i]`` is ``None`` for sink/overflow states; otherwise a list
-    of ``(probability, state_index)``.  Requires discrete distributions
-    (finite atom sets) — continuous sampling has uncountable reach.
+
+def _normalize(value: Fraction):
+    """Integral rationals as plain ints: same hash/equality, faster arithmetic."""
+    return int(value) if value.denominator == 1 else value
+
+
+def _compile_guard(guard, var_index: Dict[str, int]) -> Callable:
+    """Compile ``Polyhedron.contains_float(..., tol=1e-9)`` into a predicate
+    over the float state vector, reproducing the reference evaluation order
+    (constant first, then coefficients in insertion order)."""
+    consts: List[float] = []
+    clauses: List[str] = []
+    for ineq in guard.inequalities:
+        expr = ineq.expr
+        parts = [repr(float(expr.const))]
+        for name, coeff in expr.iter_coeffs():
+            consts.append(float(coeff))
+            parts.append(f"_c[{len(consts) - 1}] * f[{var_index[name]}]")
+        clauses.append(f"({' + '.join(parts)}) <= 1e-9")
+    body = " and ".join(clauses) or "True"
+    namespace: Dict[str, object] = {"_c": consts}
+    exec(f"def _guard(f, _c=_c):\n    return {body}", namespace)
+    return namespace["_guard"]  # type: ignore[return-value]
+
+
+def _compile_step(
+    update, program_vars: Tuple[str, ...], var_index: Dict[str, int], draw: Dict[str, Fraction]
+) -> Callable:
+    """Compile one fork/draw combination into ``step(values) -> values'``.
+
+    The sampling draw is substituted at compile time, so each stepper is a
+    pure tuple-to-tuple affine map over exact numbers (ints where possible).
     """
+    consts: List[object] = []
+    parts: List[str] = []
+    for v in program_vars:
+        expr = update.assignments.get(v)
+        if expr is None:
+            parts.append(f"v[{var_index[v]}]")
+            continue
+        const = expr.const
+        terms: List[str] = []
+        for name, coeff in expr.iter_coeffs():
+            if name in draw:
+                const = const + coeff * draw[name]
+                continue
+            j = var_index[name]
+            if coeff == 1:
+                terms.append(f"v[{j}]")
+            elif coeff == -1:
+                terms.append(f"-v[{j}]")
+            else:
+                consts.append(_normalize(coeff))
+                terms.append(f"_c[{len(consts) - 1}] * v[{j}]")
+        if const != 0 or not terms:
+            consts.append(_normalize(const))
+            terms.append(f"_c[{len(consts) - 1}]")
+        parts.append(" + ".join(terms))
+    inner = ", ".join(parts)
+    if len(parts) == 1:
+        inner += ","
+    namespace: Dict[str, object] = {"_c": consts}
+    exec(f"def _step(v, _c=_c):\n    return ({inner})", namespace)
+    return namespace["_step"]  # type: ignore[return-value]
+
+
+def _draw_list(pts: PTS) -> List[Tuple[float, Dict[str, Fraction]]]:
+    """Cartesian product of sampling atoms, in the reference engine's order
+    (so probability weights are bit-identical float products)."""
     atoms_by_var = {}
     for r, dist in pts.distributions.items():
         atoms = dist.atoms()
@@ -72,56 +180,150 @@ def _explore(
                 f"value iteration needs discrete sampling; {r!r} is continuous"
             )
         atoms_by_var[r] = atoms
+    combos: List[Tuple[float, Dict[str, Fraction]]] = [(1.0, {})]
+    for r, atoms in atoms_by_var.items():
+        combos = [
+            (p * float(q), {**d, r: value})
+            for p, d in combos
+            for q, value in atoms
+        ]
+    return combos
 
-    def draws() -> List[Tuple[float, Dict[str, Fraction]]]:
-        combos: List[Tuple[float, Dict[str, Fraction]]] = [(1.0, {})]
-        for r, atoms in atoms_by_var.items():
-            combos = [
-                (p * float(q), {**d, r: value})
-                for p, d in combos
-                for q, value in atoms
-            ]
-        return combos
 
-    draw_list = draws()
+def _compile_plan(pts: PTS):
+    """Per-location list of ``(guard_predicate, steppers)`` in transition
+    order, where ``steppers`` is ``[(probability, destination, step_fn)]``
+    over every fork/draw combination."""
+    draw_list = _draw_list(pts)
+    var_index = {v: i for i, v in enumerate(pts.program_vars)}
+    plan: Dict[str, List[Tuple[Callable, List[Tuple[float, str, Callable]]]]] = {}
+    step_cache: Dict[Tuple[int, int], Callable] = {}
+    for t in pts.transitions:
+        guard_fn = _compile_guard(t.guard, var_index)
+        steppers: List[Tuple[float, str, Callable]] = []
+        for fork in t.forks:
+            p_fork = float(fork.probability)
+            for d_idx, (draw_p, draw) in enumerate(draw_list):
+                key = (id(fork.update), d_idx)
+                step = step_cache.get(key)
+                if step is None:
+                    step = _compile_step(fork.update, pts.program_vars, var_index, draw)
+                    step_cache[key] = step
+                steppers.append((p_fork * draw_p, fork.destination, step))
+        plan.setdefault(t.source, []).append((guard_fn, steppers))
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# state-interning BFS -> sparse model
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SparseFixpointModel:
+    """The explored fragment as linear-algebra data.
+
+    ``matrix`` holds interior-row transition probabilities into *every*
+    state (sink rows are empty); the fixed sink values and the overflow
+    pessimization live in the affine offsets, so one sweep of both passes is
+    ``X <- matrix @ X + B``.
+    """
+
+    n: int
+    matrix: object  # csr_matrix or np.ndarray, shape (n, n)
+    b_lower: np.ndarray  # per-state affine offset of the lower pass
+    b_upper: np.ndarray  # ... of the upper pass (includes overflow mass)
+    x0_lower: np.ndarray  # bottom lattice element (fail states pinned to 1)
+    x0_upper: np.ndarray  # top lattice element (term states pinned to 0)
+    truncated: bool
+    index: Dict[State, int]
+
+    @property
+    def nnz(self) -> int:
+        return int(self.matrix.nnz) if hasattr(self.matrix, "nnz") else int(
+            np.count_nonzero(self.matrix)
+        )
+
+
+def build_sparse_model(pts: PTS, max_states: int = 200_000) -> SparseFixpointModel:
+    """Explore the reachable fragment and assemble the sparse model.
+
+    The BFS visits states in exactly the reference engine's order (so
+    truncation cuts the same frontier), interning each state tuple once:
+    the successor lookup is a single ``dict.get`` and the compiled steppers
+    never materialize per-state valuation dicts.
+    """
+    plan = _compile_plan(pts)
     init_state: State = (
         pts.init_location,
         tuple(pts.init_valuation[v] for v in pts.program_vars),
     )
     index: Dict[State, int] = {init_state: 0}
     order: List[State] = [init_state]
-    successors: List[Optional[List[Tuple[float, int]]]] = []
+    rows: List[int] = []
+    cols: List[int] = []
+    probs: List[float] = []
+    overflow: Dict[int, float] = {}
     truncated = False
+    is_sink = pts.is_sink
     frontier = 0
     while frontier < len(order):
         loc, values = order[frontier]
-        frontier += 1
-        if pts.is_sink(loc):
-            successors.append(None)
+        if is_sink(loc):
+            frontier += 1
             continue
-        valuation = dict(zip(pts.program_vars, values))
-        float_val = {k: float(v) for k, v in valuation.items()}
-        transition = pts.enabled_transition(loc, float_val)
-        if transition is None:
+        fvals = [float(x) for x in values]
+        for guard_fn, steppers in plan.get(loc, ()):
+            if guard_fn(fvals):
+                break
+        else:
+            valuation = dict(zip(pts.program_vars, values))
             raise ModelError(f"no enabled transition at {loc!r} with {valuation}")
-        outs: List[Tuple[float, int]] = []
-        for fork in transition.forks:
-            for draw_p, draw in draw_list:
-                nxt_val = fork.update.apply(valuation, draw)
-                nxt: State = (
-                    fork.destination,
-                    tuple(nxt_val[v] for v in pts.program_vars),
-                )
-                if nxt not in index:
-                    if len(order) >= max_states:
-                        truncated = True
-                        outs.append((float(fork.probability) * draw_p, -1))
-                        continue
-                    index[nxt] = len(order)
-                    order.append(nxt)
-                outs.append((float(fork.probability) * draw_p, index.get(nxt, -1)))
-        successors.append(outs)
-    return index, successors, truncated
+        for p, destination, step in steppers:
+            nxt = (destination, step(values))
+            j = index.get(nxt)
+            if j is None:
+                if len(order) >= max_states:
+                    truncated = True
+                    overflow[frontier] = overflow.get(frontier, 0.0) + p
+                    continue
+                j = len(order)
+                index[nxt] = j
+                order.append(nxt)
+            rows.append(frontier)
+            cols.append(j)
+            probs.append(p)
+        frontier += 1
+
+    n = len(order)
+    fail_loc, term_loc = pts.fail_location, pts.term_location
+    b_lower = np.zeros(n)
+    x0_upper = np.ones(n)
+    for i, (loc, _) in enumerate(order):
+        if loc == fail_loc:
+            b_lower[i] = 1.0
+        elif loc == term_loc:
+            x0_upper[i] = 0.0
+    b_upper = b_lower.copy()
+    for i, mass in overflow.items():
+        b_upper[i] += mass
+    if n <= _DENSE_STATE_LIMIT:
+        matrix: object = np.zeros((n, n))
+        np.add.at(matrix, (rows, cols), probs)
+    else:
+        matrix = csr_matrix(
+            (probs, (rows, cols)), shape=(n, n)
+        )  # duplicate (i, j) entries sum, matching successor-list semantics
+    return SparseFixpointModel(
+        n=n,
+        matrix=matrix,
+        b_lower=b_lower,
+        b_upper=b_upper,
+        x0_lower=b_lower.copy(),
+        x0_upper=x0_upper,
+        truncated=truncated,
+        index=index,
+    )
 
 
 def value_iteration(
@@ -131,51 +333,36 @@ def value_iteration(
     tol: float = 1e-12,
 ) -> ValueIterationResult:
     """Compute a rigorous bracket on ``vpf(l_init, v_init)`` by iterating
-    ``ptf`` from bottom and from top over the explored state space."""
-    index, successors, truncated = _explore(pts, max_states)
-    n = len(successors)
-    loc_of = [None] * n
-    for (loc, _), i in index.items():
-        loc_of[i] = loc
+    ``ptf`` from bottom and from top over the explored state space.
 
-    lower = [0.0] * n
-    upper = [0.0] * n
-    for i in range(n):
-        if loc_of[i] == pts.fail_location:
-            lower[i] = upper[i] = 1.0
-        elif loc_of[i] == pts.term_location:
-            lower[i] = upper[i] = 0.0
-        elif successors[i] is None:  # pragma: no cover - only sinks are None
-            lower[i], upper[i] = 0.0, 1.0
-        else:
-            lower[i], upper[i] = 0.0, 1.0
-
+    Both passes run simultaneously as one matrix product over a two-column
+    array per sweep; convergence is a sup-norm check at ``tol``.
+    """
+    model = build_sparse_model(pts, max_states)
+    x = np.stack([model.x0_lower, model.x0_upper], axis=1)
+    b = np.stack([model.b_lower, model.b_upper], axis=1)
+    matrix = model.matrix
+    if isinstance(matrix, np.ndarray):
+        # dense path: precompute the exact Gauss-Seidel sweep operator so the
+        # schedule (and hence iteration counts) matches the reference engine
+        strict_lower = np.tril(matrix, k=-1)
+        sweep_inv = np.linalg.inv(np.eye(model.n) - strict_lower)
+        matrix = sweep_inv @ (matrix - strict_lower)
+        b = sweep_inv @ b
     iterations = 0
     for _ in range(max_iterations):
         iterations += 1
-        delta = 0.0
-        for i in range(n):
-            outs = successors[i]
-            if outs is None:
-                continue
-            lo = 0.0
-            hi = 0.0
-            for p, j in outs:
-                if j < 0:
-                    hi += p  # overflow state: pessimistic 1 above, 0 below
-                else:
-                    lo += p * lower[j]
-                    hi += p * upper[j]
-            delta = max(delta, abs(lo - lower[i]), abs(hi - upper[i]))
-            lower[i], upper[i] = lo, hi
+        x_new = matrix @ x + b
+        delta = float(np.abs(x_new - x).max()) if model.n else 0.0
+        x = x_new
         if delta <= tol:
             break
     return ValueIterationResult(
-        lower=lower[0],
-        upper=upper[0],
-        states=n,
+        lower=float(x[0, 0]),
+        upper=float(x[0, 1]),
+        states=model.n,
         iterations=iterations,
-        truncated=truncated,
+        truncated=model.truncated,
     )
 
 

@@ -209,8 +209,8 @@ def _lp_with(
     constraints: List[TemplateConstraint], extra: List[TemplateConstraint] = ()
 ) -> LinearProgram:
     lp = LinearProgram()
-    for c in list(constraints) + list(extra):
-        (lp.add_le if c.relation == "<=" else lp.add_eq)(c.expr, c.label)
+    lp.add_constraints(constraints)
+    lp.add_constraints(extra)
     return lp
 
 

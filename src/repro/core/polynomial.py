@@ -22,6 +22,7 @@ import math
 import time
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import lru_cache
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import InfeasibleError, ModelError, SolverError, SynthesisError
@@ -39,7 +40,11 @@ __all__ = ["Polynomial", "handelman_constraints", "polynomial_hoeffding_synthesi
 Monomial = Tuple[Tuple[str, int], ...]  # sorted ((var, power), ...)
 
 
+@lru_cache(maxsize=65536)
 def _mono_mul(a: Monomial, b: Monomial) -> Monomial:
+    """Product of two monomials, memoized — Handelman basis construction and
+    affine substitution multiply the same small monomial pairs over and over
+    (and interning the result tuples deduplicates the term-dict keys)."""
     powers: Dict[str, int] = dict(a)
     for v, p in b:
         powers[v] = powers.get(v, 0) + p
@@ -147,6 +152,19 @@ class Polynomial:
             result = result + term
         return result
 
+    def at_point(self, point: Mapping[str, Number]) -> LinExpr:
+        """The polynomial evaluated at an exact program-variable point,
+        leaving the unknown-coefficient structure symbolic — the affine
+        expression synthesis needs for initial-state constraints and
+        objectives."""
+        result = LinExpr.constant(0)
+        for mono, coeff in self.terms.items():
+            value = Fraction(1)
+            for v, p in mono:
+                value *= as_fraction(point[v]) ** p
+            result = result + coeff * value
+        return result
+
     def evaluate(self, valuation: Mapping[str, float], assignment: Mapping[str, float]) -> float:
         """Numeric value given program-variable and unknown assignments."""
         total = 0.0
@@ -191,6 +209,25 @@ def _products_up_to_degree(
     return products
 
 
+#: Handelman basis cache, keyed by the premise's defining inequalities and
+#: the degree budget.  The same premise polytope appears in one block per
+#: RepRSM condition (C3, C4lo, C4hi, ...) and again on every Ser probe, so
+#: the basis — the expensive polynomial-product enumeration — is shared.
+_HANDELMAN_BASIS_CACHE: Dict[Tuple, List[Polynomial]] = {}
+
+
+def _handelman_basis(polytope: Polyhedron, degree: int) -> List[Polynomial]:
+    key = (tuple(ineq.expr for ineq in polytope.inequalities), degree)
+    products = _HANDELMAN_BASIS_CACHE.get(key)
+    if products is None:
+        generators = [
+            Polynomial.from_linexpr(-ineq.expr) for ineq in polytope.inequalities
+        ]
+        products = _products_up_to_degree(generators, degree)
+        _HANDELMAN_BASIS_CACHE[key] = products
+    return products
+
+
 def handelman_constraints(
     target: Polynomial,
     polytope: Polyhedron,
@@ -209,19 +246,18 @@ def handelman_constraints(
             "Handelman's Positivstellensatz needs a compact premise; "
             f"the polyhedron for {label!r} is unbounded"
         )
-    # defining inequalities as polynomials h_i >= 0
-    generators = []
-    for ineq in polytope.inequalities:
-        generators.append(Polynomial.from_linexpr(-ineq.expr))
-    products = _products_up_to_degree(generators, degree)
+    # defining inequalities as polynomials h_i >= 0, basis shared via cache
+    products = _handelman_basis(polytope, degree)
     combo = Polynomial.constant(0)
     for k, product in enumerate(products):
         lam = f"_h({label})[{k}]"
         lp.add_variable(lam, lower=0.0)
         combo = combo + product * Polynomial({(): LinExpr.variable(lam)})
     difference = target - combo
-    for mono in sorted(set(difference.monomials())):
-        lp.add_eq(difference.coefficient(mono), label=f"{label}:mono{mono}")
+    lp.add_eq_many(
+        (difference.coefficient(mono), f"{label}:mono{mono}")
+        for mono in sorted(set(difference.monomials()))
+    )
 
 
 def _poly_template(
@@ -284,12 +320,7 @@ def polynomial_hoeffding_synthesis(
         eps = as_fraction(round(eps_value, 10))
         init_val = {v: pts.init_valuation[v] for v in pts.program_vars}
         # (C1): eta(init) <= omega
-        eta_init = LinExpr.constant(0)
-        for mono, coeff in templates[pts.init_location].terms.items():
-            value = Fraction(1)
-            for v, p in mono:
-                value *= init_val[v] ** p
-            eta_init = eta_init + coeff * value
+        eta_init = templates[pts.init_location].at_point(init_val)
         lp.add_le(eta_init - LinExpr.variable("_omega"), label="C1")
         # (C2): eta(fail) >= 0 on I(fail)
         fail_inv = invariants.of(pts.fail_location)

@@ -157,12 +157,7 @@ def polynomial_exp_low_syn(
 
     # objective: maximize eta(init)
     init_val = {v: pts.init_valuation[v] for v in pts.program_vars}
-    eta_init = LinExpr.constant(0)
-    for mono, coeff in templates[pts.init_location].terms.items():
-        value = Fraction(1)
-        for v, p in mono:
-            value *= init_val[v] ** p
-        eta_init = eta_init + coeff * value
+    eta_init = templates[pts.init_location].at_point(init_val)
     try:
         assignment = lp.solve(minimize=-eta_init)
     except (InfeasibleError, SolverError) as exc:

@@ -1,0 +1,65 @@
+"""Shared fixpoint-benchmark workloads and the BENCH_fixpoint.json writer.
+
+Both producers of the perf trajectory — the ``repro bench`` CLI subcommand
+and ``benchmarks/bench_fixpoint.py`` — import the workload table and the
+append helper from here, so the two entry points measure the same state
+spaces and write the same schema (see ``PERFORMANCE.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["FIXPOINT_WORKLOADS", "append_bench_run"]
+
+#: name -> (source, default max_states): small / iteration-heavy /
+#: state-heavy, covering both the dense and the CSR engine paths
+FIXPOINT_WORKLOADS: Dict[str, Tuple[str, int]] = {
+    "gambler": (
+        "x := 3\nwhile x >= 1 and x <= 9:\n    switch:\n"
+        "        prob(0.5): x := x + 1\n        prob(0.5): x := x - 1\n"
+        "assert x <= 0",
+        20_000,
+    ),
+    "gambler-200": (
+        "x := 50\nwhile x >= 1 and x <= 199:\n    switch:\n"
+        "        prob(0.5): x := x + 1\n        prob(0.5): x := x - 1\n"
+        "assert x <= 0",
+        20_000,
+    ),
+    "asym-walk": (
+        "x := 0\nt := 0\nwhile x <= 19:\n    switch:\n"
+        "        prob(0.75): x, t := x + 1, t + 1\n"
+        "        prob(0.25): x, t := x - 1, t + 1\n"
+        "assert t <= 60",
+        20_000,
+    ),
+}
+
+
+def append_bench_run(
+    path, results: List[dict], source: Optional[str] = None
+) -> int:
+    """Append one timestamped run to the ``{"runs": [...]}`` history at
+    ``path`` (creating or resetting it if absent/corrupt); returns the new
+    run count."""
+    out = Path(path)
+    history = {"runs": []}
+    if out.exists():
+        try:
+            history = json.loads(out.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = {"runs": []}
+    run = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "results": list(results),
+    }
+    if source is not None:
+        run["source"] = source
+    runs = history.setdefault("runs", [])
+    runs.append(run)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+    return len(runs)

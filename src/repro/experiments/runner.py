@@ -8,7 +8,8 @@ Usage (installed package)::
     python -m repro.experiments.runner all
 
 ``table1`` accepts optional family filters (``Deviation``,
-``Concentration``, ``StoInv``).  Results print next to the paper-reported
+``Concentration``, ``StoInv``) and ``--jobs N`` to fan independent rows
+out over a process pool.  Results print next to the paper-reported
 numbers; absolute agreement is not expected (our substrate is a
 from-scratch Python stack), but orderings and magnitudes should match —
 see ``EXPERIMENTS.md``.
@@ -50,7 +51,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--no-baseline", action="store_true", help="skip previous-work baselines"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run Table 1 rows on a pool of N worker processes (rows are "
+        "independent benchmark families; 0 = one worker per CPU)",
+    )
     args = parser.parse_args(argv)
+    jobs = args.jobs
+    if jobs == 0:
+        import os
+
+        jobs = os.cpu_count() or 1
 
     start = time.perf_counter()
     if args.target in ("table1", "all"):
@@ -58,6 +72,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             families=args.families or None,
             with_hoeffding=not args.no_hoeffding,
             with_baseline=not args.no_baseline,
+            jobs=jobs,
         )
         print("\n== Table 1: upper bounds on assertion violation ==")
         print(format_table1(rows))

@@ -147,19 +147,35 @@ def run_row(
     return row
 
 
+def _run_spec(spec: Tuple[str, Dict, str, bool, bool]) -> Table1Row:
+    """Top-level worker (must be picklable for the multiprocessing pool)."""
+    name, kwargs, label, with_hoeffding, with_baseline = spec
+    return run_row(name, kwargs, label, with_hoeffding, with_baseline)
+
+
 def run_table1(
     families: Optional[Sequence[str]] = None,
     with_hoeffding: bool = True,
     with_baseline: bool = True,
+    jobs: int = 1,
 ) -> List[Table1Row]:
-    """Compute all (or selected families of) Table 1 rows."""
-    rows = []
-    for name, kwargs, label in TABLE1_SPECS:
-        family = TABLE1[(name, label)].family
-        if families is not None and family not in families:
-            continue
-        rows.append(run_row(name, kwargs, label, with_hoeffding, with_baseline))
-    return rows
+    """Compute all (or selected families of) Table 1 rows.
+
+    ``jobs > 1`` fans the rows out over a process pool — each row is an
+    independent synthesis pipeline (own PTS, own LPs), so the table
+    parallelizes embarrassingly; row order is preserved.
+    """
+    specs = [
+        (name, kwargs, label, with_hoeffding, with_baseline)
+        for name, kwargs, label in TABLE1_SPECS
+        if families is None or TABLE1[(name, label)].family in families
+    ]
+    if jobs > 1 and len(specs) > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(min(jobs, len(specs))) as pool:
+            return pool.map(_run_spec, specs)
+    return [_run_spec(spec) for spec in specs]
 
 
 def _fmt(ln: Optional[float]) -> str:

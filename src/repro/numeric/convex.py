@@ -98,11 +98,13 @@ class ConvexProgram:
         self._linear_eq: List[Tuple[LinExpr, str]] = []
         self._lse: List[Tuple[List, str]] = []  # raw (terms spec, label)
         self._objective: LinExpr = LinExpr.constant(0)
+        self._compiled: Optional[Tuple] = None  # (A_le, b_le, A_eq, b_eq, lse)
 
     # -- assembly ---------------------------------------------------------------
     def add_unknown(self, name: str) -> int:
         if name not in self._index:
             self._index[name] = len(self._index)
+            self._compiled = None
         return self._index[name]
 
     def _register(self, expr: LinExpr) -> None:
@@ -113,11 +115,23 @@ class ConvexProgram:
         """Constraint ``expr <= 0`` (affine in the unknowns)."""
         self._register(expr)
         self._linear_le.append((expr, label))
+        self._compiled = None
 
     def add_linear_eq(self, expr: LinExpr, label: str = "") -> None:
         """Constraint ``expr == 0``."""
         self._register(expr)
         self._linear_eq.append((expr, label))
+        self._compiled = None
+
+    def add_linear_le_many(self, rows: "Sequence[Tuple[LinExpr, str]]") -> None:
+        """Batched :meth:`add_linear_le` over ``(expr, label)`` pairs."""
+        for expr, label in rows:
+            self.add_linear_le(expr, label)
+
+    def add_linear_eq_many(self, rows: "Sequence[Tuple[LinExpr, str]]") -> None:
+        """Batched :meth:`add_linear_eq` over ``(expr, label)`` pairs."""
+        for expr, label in rows:
+            self.add_linear_eq(expr, label)
 
     def add_lse(
         self,
@@ -134,6 +148,7 @@ class ConvexProgram:
             for _, gamma in smooth:
                 self._register(gamma)
         self._lse.append((list(terms), label))
+        self._compiled = None
 
     def set_objective(self, expr: LinExpr) -> None:
         """Minimization objective (affine)."""
@@ -151,9 +166,22 @@ class ConvexProgram:
     # -- compilation to numpy -------------------------------------------------------
     def _row(self, expr: LinExpr) -> Tuple[np.ndarray, float]:
         row = np.zeros(len(self._index))
-        for name, coeff in expr.coeffs.items():
+        for name, coeff in expr.iter_coeffs():
             row[self._index[name]] = float(coeff)
         return row, float(expr.const)
+
+    def _block(self, exprs: Sequence[LinExpr]) -> Tuple[np.ndarray, np.ndarray]:
+        """Stack expressions into ``(A, b)`` with one coefficient-scatter pass
+        (no per-row array allocation + vstack)."""
+        n = len(self._index)
+        a = np.zeros((len(exprs), n))
+        b = np.zeros(len(exprs))
+        index = self._index
+        for r, expr in enumerate(exprs):
+            for name, coeff in expr.iter_coeffs():
+                a[r, index[name]] = float(coeff)
+            b[r] = float(expr.const)
+        return a, b
 
     def _compile_lse(self) -> List[Tuple[List[LseTerm], str]]:
         out = []
@@ -170,6 +198,16 @@ class ConvexProgram:
                 compiled.append(LseTerm(math.log(weight), row, const, parts))
             out.append((compiled, label))
         return out
+
+    def _compile(self) -> Tuple:
+        """``(A_le, b_le, A_eq, b_eq, lse_compiled)``, cached until the next
+        ``add_*`` — :meth:`max_violation` runs inside the feasibility-repair
+        bisection, so recompiling per call would dominate the solve."""
+        if self._compiled is None:
+            a_le, b_le = self._block([e for e, _ in self._linear_le])
+            a_eq, b_eq = self._block([e for e, _ in self._linear_eq])
+            self._compiled = (a_le, b_le, a_eq, b_eq, self._compile_lse())
+        return self._compiled
 
     @staticmethod
     def _lse_value_grad(terms: List[LseTerm], x: np.ndarray) -> Tuple[float, np.ndarray]:
@@ -190,14 +228,13 @@ class ConvexProgram:
         x = np.zeros(len(self._index))
         for name, idx in self._index.items():
             x[idx] = assignment.get(name, 0.0)
+        a_le, b_le, a_eq, b_eq, lse_compiled = self._compile()
         worst = 0.0
-        for expr, _ in self._linear_le:
-            row, const = self._row(expr)
-            worst = max(worst, float(row @ x) + const)
-        for expr, _ in self._linear_eq:
-            row, const = self._row(expr)
-            worst = max(worst, abs(float(row @ x) + const))
-        for terms, _ in self._compile_lse():
+        if len(b_le):
+            worst = max(worst, float(np.max(a_le @ x + b_le)))
+        if len(b_eq):
+            worst = max(worst, float(np.max(np.abs(a_eq @ x + b_eq))))
+        for terms, _ in lse_compiled:
             value, _ = self._lse_value_grad(terms, x)
             worst = max(worst, value)
         return worst
@@ -222,17 +259,13 @@ class ConvexProgram:
         if n == 0:
             return ConvexSolution({}, float(self._objective.const), 0.0, "trivial")
         obj_row, obj_const = self._row(self._objective)
-        lse_compiled = self._compile_lse()
+        a_le, b_le, a_eq_c, b_eq_c, lse_compiled = self._compile()
 
         if objective_floor is not None and np.any(obj_row != 0):
             floor_expr = -self._objective + objective_floor
             row, const = self._row(floor_expr)
-            self._linear_le_rows_extra = [(row, const)]
-        else:
-            self._linear_le_rows_extra = []
-
-        le_rows = [self._row(e) for e, _ in self._linear_le] + self._linear_le_rows_extra
-        eq_rows = [self._row(e) for e, _ in self._linear_eq]
+            a_le = np.vstack([a_le, row[np.newaxis, :]])
+            b_le = np.append(b_le, const)
 
         def objective(x: np.ndarray) -> float:
             return float(obj_row @ x) + obj_const
@@ -240,16 +273,18 @@ class ConvexProgram:
         def objective_jac(x: np.ndarray) -> np.ndarray:
             return obj_row
 
+        le_rows = len(b_le) > 0
+        eq_rows = len(b_eq_c) > 0
         constraints = []
         if le_rows:
-            a = np.vstack([r for r, _ in le_rows])
-            b = np.array([c for _, c in le_rows])
+            a = a_le
+            b = b_le
             constraints.append(
                 {"type": "ineq", "fun": lambda x: -(a @ x + b), "jac": lambda x: -a}
             )
         if eq_rows:
-            a_eq = np.vstack([r for r, _ in eq_rows])
-            b_eq = np.array([c for _, c in eq_rows])
+            a_eq = a_eq_c
+            b_eq = b_eq_c
             constraints.append(
                 {"type": "ineq", "fun": lambda x: (a_eq @ x + b_eq) + 1e-12, "jac": lambda x: a_eq}
             )
@@ -359,14 +394,14 @@ class ConvexProgram:
 
             tc_constraints = []
             if le_rows:
-                a = np.vstack([r for r, _ in le_rows])
-                b = np.array([c for _, c in le_rows])
                 tc_constraints.append(
-                    NonlinearConstraint(lambda x, a=a, b=b: a @ x + b, -np.inf, 0.0)
+                    NonlinearConstraint(
+                        lambda x, a=a_le, b=b_le: a @ x + b, -np.inf, 0.0
+                    )
                 )
             if eq_rows:
-                a_eq2 = np.vstack([r for r, _ in eq_rows])
-                b_eq2 = np.array([c for _, c in eq_rows])
+                a_eq2 = a_eq_c
+                b_eq2 = b_eq_c
                 tc_constraints.append(
                     NonlinearConstraint(
                         lambda x, a=a_eq2, b=b_eq2: a @ x + b, 0.0, 0.0

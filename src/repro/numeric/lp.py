@@ -8,16 +8,23 @@ Two interfaces are provided:
   algorithms, which assemble constraints symbolically as
   :class:`~repro.polyhedra.linexpr.LinExpr` objects over unknown coefficients
   and Farkas multipliers.
+
+The named-variable interface assembles the constraint matrix as sparse COO
+triplets while constraints stream in — no dense per-row Python lists — so
+LP *assembly* stays proportional to the number of nonzero coefficients and
+keeps pace with the HiGHS solve even on the large Farkas/Handelman systems
+(see ``PERFORMANCE.md``).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
+from scipy.sparse import csr_matrix
 
 from repro.errors import InfeasibleError, SolverError
 from repro.polyhedra.linexpr import LinExpr
@@ -41,32 +48,62 @@ class LPResult:
 
 _STATUS = {0: "optimal", 1: "iteration-limit", 2: "infeasible", 3: "unbounded", 4: "numerical"}
 
+#: statuses worth one retry with the dual simplex before giving up — HiGHS'
+#: default (interior point + crossover) occasionally stalls on the nearly
+#: degenerate Farkas systems where the simplex finishes cleanly
+_RETRY_STATUSES = ("iteration-limit", "numerical")
+
+
+def _is_empty(matrix) -> bool:
+    """True for ``None`` or a 0-row matrix (dense sequence or scipy sparse)."""
+    if matrix is None:
+        return True
+    shape = getattr(matrix, "shape", None)
+    if shape is not None and not isinstance(matrix, (list, tuple)):
+        return shape[0] == 0
+    return len(matrix) == 0
+
 
 def solve_lp(
     c: Sequence[float],
-    a_ub: Optional[Sequence[Sequence[float]]] = None,
+    a_ub=None,
     b_ub: Optional[Sequence[float]] = None,
-    a_eq: Optional[Sequence[Sequence[float]]] = None,
+    a_eq=None,
     b_eq: Optional[Sequence[float]] = None,
     bounds: Optional[Sequence[Tuple[Optional[float], Optional[float]]]] = None,
 ) -> LPResult:
     """Minimize ``c @ x`` subject to ``a_ub @ x <= b_ub`` and ``a_eq @ x == b_eq``.
 
     Variables are free by default (unlike ``linprog``'s nonnegative default).
+    Constraint matrices may be dense sequences or ``scipy.sparse`` matrices.
+    On an "iteration-limit" or "numerical" status the solve is retried once
+    with ``method="highs-ds"`` (dual simplex) before raising
+    :class:`SolverError`.
     """
     n = len(c)
     if bounds is None:
         bounds = [(None, None)] * n
-    res = linprog(
-        c,
-        A_ub=None if a_ub is None or len(a_ub) == 0 else a_ub,
-        b_ub=None if b_ub is None or len(b_ub) == 0 else b_ub,
-        A_eq=None if a_eq is None or len(a_eq) == 0 else a_eq,
-        b_eq=None if b_eq is None or len(b_eq) == 0 else b_eq,
-        bounds=bounds,
-        method="highs",
-    )
+    a_ub_arg = None if _is_empty(a_ub) else a_ub
+    b_ub_arg = None if a_ub_arg is None else b_ub
+    a_eq_arg = None if _is_empty(a_eq) else a_eq
+    b_eq_arg = None if a_eq_arg is None else b_eq
+
+    def run(method: str):
+        return linprog(
+            c,
+            A_ub=a_ub_arg,
+            b_ub=b_ub_arg,
+            A_eq=a_eq_arg,
+            b_eq=b_eq_arg,
+            bounds=bounds,
+            method=method,
+        )
+
+    res = run("highs")
     status = _STATUS.get(res.status, "error")
+    if status in _RETRY_STATUSES:
+        res = run("highs-ds")
+        status = _STATUS.get(res.status, "error")
     if status == "optimal":
         return LPResult("optimal", np.asarray(res.x, dtype=float), float(res.fun))
     if status in ("infeasible", "unbounded"):
@@ -74,18 +111,41 @@ def solve_lp(
     raise SolverError(f"linprog failed with status {res.status}: {res.message}")
 
 
+class _TripletBlock:
+    """One constraint block (<= or ==) as streaming COO triplets."""
+
+    __slots__ = ("rows", "cols", "data", "rhs")
+
+    def __init__(self) -> None:
+        self.rows: List[int] = []
+        self.cols: List[int] = []
+        self.data: List[float] = []
+        self.rhs: List[float] = []
+
+    def matrix(self, num_vars: int) -> Optional[csr_matrix]:
+        if not self.rhs:
+            return None
+        return csr_matrix(
+            (self.data, (self.rows, self.cols)), shape=(len(self.rhs), num_vars)
+        )
+
+
 class LinearProgram:
     """An LP assembled from :class:`LinExpr` constraints over named unknowns.
 
     Constraints are ``expr <= 0`` or ``expr == 0`` where ``expr`` is affine in
     the unknowns.  Variables are registered on first use; bounds can be set
-    per variable (default: free).
+    per variable (default: free).  Coefficients go straight into sparse
+    triplets at ``add_*`` time; the original expressions are retained only
+    for :meth:`check_assignment` and labelled diagnostics.
     """
 
     def __init__(self) -> None:
         self._index: Dict[str, int] = {}
         self._lower: Dict[str, Optional[float]] = {}
         self._upper: Dict[str, Optional[float]] = {}
+        self._le = _TripletBlock()
+        self._eq = _TripletBlock()
         self._le_rows: List[Tuple[LinExpr, str]] = []
         self._eq_rows: List[Tuple[LinExpr, str]] = []
         self._objective: LinExpr = LinExpr.constant(0)
@@ -115,15 +175,40 @@ class LinearProgram:
         for name in expr.variables():
             self.add_variable(name)
 
+    def _append(self, block: _TripletBlock, expr: LinExpr) -> None:
+        self._register(expr)
+        row = len(block.rhs)
+        index = self._index
+        for name, coeff in expr.iter_coeffs():
+            block.rows.append(row)
+            block.cols.append(index[name])
+            block.data.append(float(coeff))
+        block.rhs.append(-float(expr.const))
+
     def add_le(self, expr: LinExpr, label: str = "") -> None:
         """Add the constraint ``expr <= 0``."""
-        self._register(expr)
+        self._append(self._le, expr)
         self._le_rows.append((expr, label))
 
     def add_eq(self, expr: LinExpr, label: str = "") -> None:
         """Add the constraint ``expr == 0``."""
-        self._register(expr)
+        self._append(self._eq, expr)
         self._eq_rows.append((expr, label))
+
+    def add_eq_many(self, rows: Iterable[Tuple[LinExpr, str]]) -> None:
+        """Batched :meth:`add_eq` over ``(expr, label)`` pairs."""
+        for expr, label in rows:
+            self.add_eq(expr, label)
+
+    def add_constraints(self, constraints: Iterable) -> None:
+        """Batched emission of ``TemplateConstraint``-likes (``.expr``,
+        ``.relation`` in ``{"<=", "=="}``, ``.label``) — the common shape
+        produced by the Farkas encoder and the synthesis front-ends."""
+        for c in constraints:
+            if c.relation == "<=":
+                self.add_le(c.expr, c.label)
+            else:
+                self.add_eq(c.expr, c.label)
 
     def set_objective(self, expr: LinExpr) -> None:
         """Set the (minimization) objective."""
@@ -139,12 +224,6 @@ class LinearProgram:
         return len(self._le_rows) + len(self._eq_rows)
 
     # -- solving ------------------------------------------------------------------
-    def _row(self, expr: LinExpr) -> Tuple[np.ndarray, float]:
-        row = np.zeros(len(self._index))
-        for name, coeff in expr.coeffs.items():
-            row[self._index[name]] = float(coeff)
-        return row, -float(expr.const)
-
     def solve(self, minimize: Optional[LinExpr] = None) -> Dict[str, float]:
         """Solve; returns the optimal assignment as ``{name: value}``.
 
@@ -155,21 +234,13 @@ class LinearProgram:
             self.set_objective(minimize)
         n = len(self._index)
         c = np.zeros(n)
-        for name, coeff in self._objective.coeffs.items():
+        for name, coeff in self._objective.iter_coeffs():
             c[self._index[name]] = float(coeff)
-        a_ub, b_ub = [], []
-        for expr, _ in self._le_rows:
-            row, rhs = self._row(expr)
-            a_ub.append(row)
-            b_ub.append(rhs)
-        a_eq, b_eq = [], []
-        for expr, _ in self._eq_rows:
-            row, rhs = self._row(expr)
-            a_eq.append(row)
-            b_eq.append(rhs)
+        a_ub = self._le.matrix(n)
+        a_eq = self._eq.matrix(n)
         names = sorted(self._index, key=self._index.get)
         bounds = [(self._lower[name], self._upper[name]) for name in names]
-        result = solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        result = solve_lp(c, a_ub, self._le.rhs, a_eq, self._eq.rhs, bounds)
         if result.status == "infeasible":
             raise InfeasibleError("linear program is infeasible")
         if result.status == "unbounded":

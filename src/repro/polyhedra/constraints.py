@@ -109,6 +109,11 @@ class Polyhedron:
                     f"constraint {ineq} mentions variables {sorted(extra)} "
                     f"outside the polyhedron dimension {self.variables}"
                 )
+        # memo slots for the LP-backed predicates; instances are immutable by
+        # convention and synthesis asks the same polytope repeatedly (one
+        # Handelman block per condition over the same premise)
+        self._empty_memo: Optional[bool] = None
+        self._bounded_memo: Optional[bool] = None
 
     # -- constructors -------------------------------------------------------------
     @staticmethod
@@ -182,15 +187,17 @@ class Polyhedron:
         return a_ub, b_ub
 
     def is_empty(self) -> bool:
-        """True iff the polyhedron has no points (LP feasibility)."""
+        """True iff the polyhedron has no points (LP feasibility, memoized)."""
         from repro.numeric.lp import solve_lp
 
         if not self.inequalities:
             return False
-        a_ub, b_ub = self._lp_data()
-        n = len(self.variables)
-        result = solve_lp([0.0] * n, a_ub, b_ub)
-        return result.status == "infeasible"
+        if self._empty_memo is None:
+            a_ub, b_ub = self._lp_data()
+            n = len(self.variables)
+            result = solve_lp([0.0] * n, a_ub, b_ub)
+            self._empty_memo = result.status == "infeasible"
+        return self._empty_memo
 
     def maximize(self, objective: LinExpr) -> Tuple[str, Optional[float]]:
         """``(status, value)`` for ``max objective`` over the polyhedron.
@@ -221,7 +228,12 @@ class Polyhedron:
         return value <= tol
 
     def is_bounded(self) -> bool:
-        """True iff the polyhedron is a polytope (or empty)."""
+        """True iff the polyhedron is a polytope (or empty); memoized."""
+        if self._bounded_memo is None:
+            self._bounded_memo = self._compute_bounded()
+        return self._bounded_memo
+
+    def _compute_bounded(self) -> bool:
         if self.is_empty():
             return True
         for v in self.variables:

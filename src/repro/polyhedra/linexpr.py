@@ -41,12 +41,28 @@ class LinExpr:
     # -- construction helpers -------------------------------------------------
     @staticmethod
     def variable(name: str) -> "LinExpr":
-        """The expression consisting of the single variable ``name``."""
-        return LinExpr({name: 1})
+        """The expression consisting of the single variable ``name``.
+
+        Instances are immutable, so repeated requests for the same name are
+        served from an intern table — synthesis assembles millions of
+        single-variable expressions (template coefficients, Farkas
+        multipliers) and the cache removes that allocation churn.
+        """
+        cached = _VAR_INTERN.get(name)
+        if cached is None:
+            cached = LinExpr({name: 1})
+            _VAR_INTERN[name] = cached
+        return cached
 
     @staticmethod
     def constant(value: Number) -> "LinExpr":
-        """The constant expression ``value``."""
+        """The constant expression ``value`` (small integers are interned)."""
+        if type(value) is int and -16 <= value <= 16:
+            cached = _CONST_INTERN.get(value)
+            if cached is None:
+                cached = LinExpr({}, value)
+                _CONST_INTERN[value] = cached
+            return cached
         return LinExpr({}, value)
 
     @staticmethod
@@ -70,6 +86,14 @@ class LinExpr:
     def coeff(self, name: str) -> Fraction:
         """Coefficient of ``name`` (0 if absent)."""
         return self._coeffs.get(name, Fraction(0))
+
+    def iter_coeffs(self):
+        """Read-only view of ``(name, coeff)`` pairs without copying.
+
+        The hot constraint-assembly paths iterate coefficients millions of
+        times; :attr:`coeffs` copies the dict on every access, this doesn't.
+        """
+        return self._coeffs.items()
 
     def variables(self) -> Tuple[str, ...]:
         """Sorted tuple of variables with nonzero coefficient."""
@@ -193,6 +217,11 @@ class LinExpr:
             else:
                 parts.append(str(c))
         return " ".join(parts)
+
+
+#: intern tables for the two highest-churn constructors (see above)
+_VAR_INTERN: Dict[str, LinExpr] = {}
+_CONST_INTERN: Dict[int, LinExpr] = {}
 
 
 def var(name: str) -> LinExpr:
