@@ -5,9 +5,16 @@ paths — a tiny chain (call overhead), an iteration-heavy slow-mixing chain
 (the dense Gauss-Seidel operator path), and a state-heavy truncated walk
 (the CSR path) — asserting bracket agreement and recording every entry to
 ``BENCH_fixpoint.json`` through the session recorder in ``conftest.py``.
+
+The recorded trajectory is also a *regression gate*: a run whose
+``sparse_seconds`` degrades more than 2x against the best time ever
+recorded for the same workload (program + state budget) fails, so a perf
+regression cannot land silently just because the brackets still agree.
 """
 
+import os
 import time
+from pathlib import Path
 
 import pytest
 
@@ -16,7 +23,19 @@ pytestmark = pytest.mark.bench
 from repro.lang import compile_source
 from repro.core.fixpoint import value_iteration
 from repro.core import fixpoint_reference
-from repro.experiments.fixpoint_bench import FIXPOINT_WORKLOADS
+from repro.experiments.fixpoint_bench import (
+    FIXPOINT_WORKLOADS,
+    best_recorded_sparse_seconds,
+)
+
+#: same location conftest.py flushes the session recorder to
+BENCH_FIXPOINT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fixpoint.json"
+
+#: tolerated slowdown against the best recorded run before the gate trips.
+#: The trajectory file is committed, so the baseline may come from faster
+#: hardware — override with REPRO_BENCH_GATE_FACTOR (0 disables the gate)
+#: when benchmarking on a slower machine.
+REGRESSION_FACTOR = float(os.environ.get("REPRO_BENCH_GATE_FACTOR", "2.0"))
 
 
 @pytest.mark.parametrize("name", sorted(FIXPOINT_WORKLOADS))
@@ -40,6 +59,18 @@ def test_sparse_engine_vs_reference(name, fixpoint_recorder, benchmark):
     assert fast.truncated == ref.truncated
     assert abs(fast.lower - ref.lower) <= 1e-9
     assert abs(fast.upper - ref.upper) <= 1e-9
+
+    # regression gate: compare against the best run already on disk (the
+    # session recorder appends *after* the session, so the baseline never
+    # includes this very measurement)
+    best = best_recorded_sparse_seconds(BENCH_FIXPOINT_PATH, name, max_states)
+    if REGRESSION_FACTOR > 0 and best is not None and sparse_seconds > REGRESSION_FACTOR * best:
+        pytest.fail(
+            f"fixpoint perf regression on {name!r}: sparse engine took "
+            f"{sparse_seconds:.3f}s, more than {REGRESSION_FACTOR:.1f}x the "
+            f"best recorded {best:.3f}s (BENCH_fixpoint.json; baseline may "
+            f"be from faster hardware — see REPRO_BENCH_GATE_FACTOR)"
+        )
 
     fixpoint_recorder(
         {

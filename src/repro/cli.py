@@ -4,11 +4,16 @@ Commands
 --------
 
 ``compile``    parse a program and print the compiled transition system
-``analyze``    synthesize assertion-violation bounds (upper and/or lower)
+``analyze``    synthesize assertion-violation bounds (upper and/or lower);
+               ``--jobs N`` solves the independent eps-probe LPs of the
+               Hoeffding ternary search concurrently, ``--cache`` replays
+               identical analyses from disk
 ``simulate``   Monte-Carlo estimate of the violation probability
 ``exact``      value-iteration bracket on the violation probability
 ``bench``      time the sparse fixpoint engine (vs the legacy reference)
                and append the results to ``BENCH_fixpoint.json``
+``selftest``   one fast task per synthesis family through the analysis
+               engine — a pre-push smoke gate (< 60 s)
 
 Programs are written in the paper's surface syntax, e.g.::
 
@@ -63,33 +68,53 @@ def _cmd_compile(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
-    from repro.core import (
-        exp_lin_syn,
-        exp_low_syn,
-        generate_interval_invariants,
-        hoeffding_synthesis,
-    )
+    from pathlib import Path as _Path
 
-    result = _load(args.file, not args.real_valued)
-    pts = result.pts
-    invariants = generate_interval_invariants(pts)
-    if result.invariants:
-        invariants = invariants.merged_with(result.invariants)
-    want_upper = args.upper or not args.lower
-    if want_upper:
-        method = hoeffding_synthesis if args.method == "hoeffding" else exp_lin_syn
-        cert = method(pts, invariants)
-        print(f"upper bound ({cert.method}): Pr[violation] <= {cert.bound_str}")
-        for loc, text in sorted(cert.render_template().items()):
-            print(f"  theta({loc}) = {text}")
-        print(f"  solved in {cert.solve_seconds:.2f}s; {cert.solver_info}")
-    if args.lower:
-        cert = exp_low_syn(pts, invariants)
-        print(f"lower bound (explowsyn): Pr[violation] >= {cert.bound_str}")
-        for loc, text in sorted(cert.render_template().items()):
-            print(f"  theta({loc}) = {text}")
-        if cert.termination_certificate is not None:
-            print("  almost-sure termination proved via ranking supermartingale")
+    from repro.errors import SynthesisError
+    from repro.engine import (
+        AnalysisEngine,
+        AnalysisTask,
+        ProgramSpec,
+        ResultCache,
+        make_scheduler,
+    )
+    from repro.utils.logspace import format_log_bound
+
+    path = _Path(args.file)
+    spec = ProgramSpec.from_source(
+        path.read_text(), name=path.stem, integer_mode=not args.real_valued
+    )
+    cache = ResultCache(args.cache) if args.cache else None
+    engine = AnalysisEngine(scheduler=make_scheduler(args.jobs), cache=cache)
+
+    def run(algorithm: str):
+        # run_inline keeps the engine attached, so a parallel scheduler fans
+        # the Hoeffding eps-probe LPs out even for this single program
+        result = engine.run_inline(AnalysisTask.make(algorithm, spec))
+        if not result.ok:
+            raise SynthesisError(result.error)
+        return result
+
+    try:
+        want_upper = args.upper or not args.lower
+        if want_upper:
+            result = run("hoeffding" if args.method == "hoeffding" else "explinsyn")
+            bound = format_log_bound(result.log_bound)
+            print(f"upper bound ({result.algorithm}): Pr[violation] <= {bound}")
+            for loc, text in sorted(result.template_renders.items()):
+                print(f"  theta({loc}) = {text}")
+            cached = " (cached)" if result.cached else ""
+            print(f"  solved in {result.seconds:.2f}s; {result.solver_info}{cached}")
+        if args.lower:
+            result = run("explowsyn")
+            bound = format_log_bound(result.log_bound)
+            print(f"lower bound (explowsyn): Pr[violation] >= {bound}")
+            for loc, text in sorted(result.template_renders.items()):
+                print(f"  theta({loc}) = {text}")
+            if result.details.get("termination_proved"):
+                print("  almost-sure termination proved via ranking supermartingale")
+    finally:
+        engine.close()
     return 0
 
 
@@ -173,6 +198,69 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+#: one fast representative program per synthesis family (see ``selftest``)
+_SELFTEST_RACE = """\
+x := 40
+y := 0
+while x <= 99 and y <= 99:
+    if prob(0.5):
+        x, y := x + 1, y + 2
+    else:
+        x := x + 1
+assert x >= 100
+"""
+
+_SELFTEST_CHAIN = """\
+const p = 0.01
+i := 0
+while i <= 9:
+    if prob(1 - p):
+        i := i + 1
+    else:
+        exit
+assert false
+"""
+
+
+def _cmd_selftest(args) -> int:
+    import time
+
+    from repro.engine import AnalysisEngine, AnalysisTask, ProgramSpec, make_scheduler
+
+    race = ProgramSpec.from_source(_SELFTEST_RACE, name="selftest-race")
+    chain = ProgramSpec.from_source(_SELFTEST_CHAIN, name="selftest-chain")
+    tasks = [
+        AnalysisTask.make("hoeffding", race, task_id="selftest/hoeffding"),
+        AnalysisTask.make("explinsyn", race, task_id="selftest/explinsyn"),
+        AnalysisTask.make("explowsyn", chain, task_id="selftest/explowsyn"),
+        AnalysisTask.make(
+            "polynomial_lower",
+            chain,
+            params={"degree": 2},
+            task_id="selftest/polynomial_lower",
+        ),
+    ]
+    start = time.perf_counter()
+    with AnalysisEngine(scheduler=make_scheduler(args.jobs)) as engine:
+        results = engine.map(tasks)
+    failures = 0
+    for task, result in zip(tasks, results):
+        if result.ok:
+            bound = "-inf" if result.log_bound is None else f"{result.log_bound:.6g}"
+            print(
+                f"{task.algorithm:<17} ok     ln(bound)={bound:<12} "
+                f"{result.seconds:.2f}s"
+            )
+        else:
+            failures += 1
+            print(f"{task.algorithm:<17} FAILED {result.error}")
+    print(
+        f"selftest: {len(tasks) - failures}/{len(tasks)} families ok "
+        f"in {time.perf_counter() - start:.1f}s"
+    )
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -199,6 +287,25 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["explinsyn", "hoeffding"],
         default="explinsyn",
         help="upper-bound algorithm (default: the complete Section 5.2 one)",
+    )
+    p_analyze.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="solve independent engine subtasks (Hoeffding eps-probe LPs) "
+        "on N worker processes; 0 = one per CPU, clamped to the batch",
+    )
+    from repro.engine.cache import DEFAULT_CACHE_DIR
+
+    p_analyze.add_argument(
+        "--cache",
+        nargs="?",
+        const=DEFAULT_CACHE_DIR,
+        default=None,
+        metavar="DIR",
+        help="replay identical analyses from an on-disk result cache "
+        f"(default DIR: {DEFAULT_CACHE_DIR})",
     )
     p_analyze.set_defaults(fn=_cmd_analyze)
 
@@ -238,6 +345,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--out", default="BENCH_fixpoint.json")
     p_bench.set_defaults(fn=_cmd_bench)
+
+    p_self = sub.add_parser(
+        "selftest",
+        help="run one task per synthesis family through the analysis engine "
+        "(fast pre-push gate)",
+    )
+    p_self.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the family tasks out over N worker processes (0 = per CPU)",
+    )
+    p_self.set_defaults(fn=_cmd_selftest)
     return parser
 
 

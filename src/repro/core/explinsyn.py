@@ -45,7 +45,7 @@ from repro.core.certificates import UpperBoundCertificate
 from repro.core.invariants import InvariantMap, generate_interval_invariants
 from repro.core.templates import ExpTemplate
 
-__all__ = ["exp_lin_syn"]
+__all__ = ["exp_lin_syn", "synthesize"]
 
 
 def _expand_term_at_point(
@@ -199,3 +199,63 @@ def exp_lin_syn(
     if verify:
         certificate.verify()
     return certificate
+
+
+# -- analysis-engine protocol -------------------------------------------------------
+
+
+def _warm_start_from_deps(task, deps, pts):
+    """Rebuild a warm-start state function from an upstream task's result.
+
+    The task's ``warm_start_from`` parameter names the dependency (a
+    ``hoeffding`` task, typically); its ``state_table`` — the scaled
+    certificate exponents — is a pre fixed-point, so seeding the convex
+    solve with it preserves the completeness guarantee sec5.2 <= sec5.1.
+    Errored or absent upstream results simply mean a cold start.
+    """
+    from repro.core.templates import ExpStateFunction
+
+    dep_id = task.param("warm_start_from")
+    if not dep_id or deps is None:
+        return None
+    upstream = deps.get(dep_id)
+    if upstream is None or not upstream.ok or not upstream.state_table:
+        return None
+    return ExpStateFunction(
+        variables=pts.program_vars,
+        coeffs={loc: dict(row) for loc, (row, _) in upstream.state_table.items()},
+        consts={loc: const for loc, (_, const) in upstream.state_table.items()},
+        term_location=pts.term_location,
+        fail_location=pts.fail_location,
+    )
+
+
+def synthesize(task, deps=None, engine=None):
+    """Engine entry point for ``explinsyn`` tasks."""
+    from repro.engine.task import CertificateResult, result_from_certificate
+
+    pts, invariants = task.program.resolve()
+    warm = _warm_start_from_deps(task, deps, pts)
+    # a cold solve standing in for a requested warm start (failed upstream)
+    # must not be cached under the warm-start-fingerprinted key
+    degraded = task.param("warm_start_from") is not None and warm is None
+    start = time.perf_counter()
+    try:
+        certificate = exp_lin_syn(
+            pts,
+            invariants,
+            margin=float(task.param("margin", 1e-9)),
+            maxiter=int(task.param("maxiter", 800)),
+            verify=bool(task.param("verify", True)),
+            warm_start=warm,
+        )
+    except Exception as exc:
+        return CertificateResult.failure(task, exc, seconds=time.perf_counter() - start)
+    result = result_from_certificate(
+        task.algorithm,
+        certificate,
+        seconds=time.perf_counter() - start,
+        details={"init_location": pts.init_location, "warm_started": warm is not None},
+    )
+    result.cache_ok = not degraded
+    return result

@@ -39,7 +39,7 @@ from repro.core.invariants import InvariantMap, generate_interval_invariants
 from repro.core.templates import ExpTemplate
 from repro.core.termination import TerminationCertificate, prove_almost_sure_termination
 
-__all__ = ["exp_low_syn"]
+__all__ = ["exp_low_syn", "synthesize"]
 
 M_NAME = "_M"
 
@@ -144,3 +144,32 @@ def exp_low_syn(
     if verify:
         certificate.verify()
     return certificate
+
+
+# -- analysis-engine protocol -------------------------------------------------------
+
+
+def synthesize(task, deps=None, engine=None):
+    """Engine entry point for ``explowsyn`` tasks."""
+    from repro.engine.task import CertificateResult, result_from_certificate
+
+    pts, invariants = task.program.resolve()
+    start = time.perf_counter()
+    try:
+        certificate = exp_low_syn(
+            pts,
+            invariants,
+            assume_termination=bool(task.param("assume_termination", False)),
+            verify=bool(task.param("verify", True)),
+        )
+    except Exception as exc:
+        return CertificateResult.failure(task, exc, seconds=time.perf_counter() - start)
+    return result_from_certificate(
+        task.algorithm,
+        certificate,
+        seconds=time.perf_counter() - start,
+        details={
+            "init_location": pts.init_location,
+            "termination_proved": certificate.termination_certificate is not None,
+        },
+    )

@@ -44,7 +44,7 @@ from repro.core.certificates import RepRSMData, UpperBoundCertificate
 from repro.core.invariants import InvariantMap, generate_interval_invariants
 from repro.core.templates import ExpTemplate
 
-__all__ = ["hoeffding_synthesis", "azuma_baseline"]
+__all__ = ["hoeffding_synthesis", "azuma_baseline", "synthesize", "synthesize_probe"]
 
 EPS = "_eps"
 OMEGA = "_omega"
@@ -214,6 +214,49 @@ def _lp_with(
     return lp
 
 
+def _assemble_system(
+    pts: PTS, invariants: InvariantMap, template: ExpTemplate, factor: str
+) -> List[TemplateConstraint]:
+    """The full (C1)-(C4) system for ``factor``, as one constraint list.
+
+    Deterministic in its inputs (fresh Farkas multiplier names are counted
+    per encoder), so a worker process rebuilding the system from a program
+    spec produces exactly the LP the parent would have solved.
+    """
+    constraints = _build_constraints(pts, invariants, template)
+    if factor == "azuma":
+        # [CNZ17] via Azuma's inequality: symmetric differences beta = -delta/2
+        constraints = constraints + [
+            TemplateConstraint(
+                LinExpr.variable(BETA) + Fraction(1, 2), "==", label="azuma:beta"
+            )
+        ]
+    return constraints
+
+
+def _probe_lp(
+    constraints: List[TemplateConstraint], multiplier: float, eps: float
+) -> Tuple[float, Optional[Dict[str, float]]]:
+    """One Ser eps-probe: fix ``eps``, minimize ``omega`` by LP.
+
+    This is the shared evaluation kernel of the serial ternary search and
+    the engine's parallel probe subtasks — both must round/encode ``eps``
+    identically for the parallel bracket to be bit-identical to the serial
+    one.
+    """
+    fixed = TemplateConstraint(
+        LinExpr.variable(EPS) - LinExpr.constant(Fraction(str(round(eps, 12)))),
+        "==",
+        label="fix-eps",
+    )
+    lp = _lp_with(constraints, [fixed])
+    try:
+        assignment = lp.solve(minimize=LinExpr.variable(OMEGA))
+    except (InfeasibleError, SolverError):
+        return float("inf"), None
+    return multiplier * eps * assignment[OMEGA], assignment
+
+
 def _synthesize(
     pts: PTS,
     invariants: Optional[InvariantMap],
@@ -221,6 +264,7 @@ def _synthesize(
     search_tol: float,
     eps_cap: float,
     verify: bool,
+    probe_batch=None,
 ) -> UpperBoundCertificate:
     start = time.perf_counter()
     if invariants is None:
@@ -242,14 +286,7 @@ def _synthesize(
             solve_seconds=time.perf_counter() - start,
             solver_info="failure sink unreachable under the invariant",
         )
-    constraints = _build_constraints(pts, invariants, template)
-    if factor == "azuma":
-        # [CNZ17] via Azuma's inequality: symmetric differences beta = -delta/2
-        constraints = constraints + [
-            TemplateConstraint(
-                LinExpr.variable(BETA) + Fraction(1, 2), "==", label="azuma:beta"
-            )
-        ]
+    constraints = _assemble_system(pts, invariants, template, factor)
     multiplier = 8.0 if factor == "hoeffding" else 4.0
 
     # Step 1 of Ser: feasibility and the eps range.
@@ -268,20 +305,18 @@ def _synthesize(
         return _trivial_certificate(pts, invariants, template, factor, start)
 
     # Step 2: ternary search over eps; each probe is one LP minimizing omega.
+    # With an engine attached, the independent probes of one bracket step are
+    # emitted as subtasks and solve concurrently (see ``synthesize``).
     def f(eps: float):
-        fixed = TemplateConstraint(
-            LinExpr.variable(EPS) - LinExpr.constant(Fraction(str(round(eps, 12)))),
-            "==",
-            label="fix-eps",
-        )
-        lp = _lp_with(constraints, [fixed])
-        try:
-            assignment = lp.solve(minimize=LinExpr.variable(OMEGA))
-        except (InfeasibleError, SolverError):
-            return float("inf"), None
-        return multiplier * eps * assignment[OMEGA], assignment
+        return _probe_lp(constraints, multiplier, eps)
 
-    result = ternary_search(f, 0.0, eps_max, tol=max(search_tol, search_tol * eps_max))
+    result = ternary_search(
+        f,
+        0.0,
+        eps_max,
+        tol=max(search_tol, search_tol * eps_max),
+        evaluate_batch=probe_batch,
+    )
     if result.payload is None or result.value >= 0:
         return _trivial_certificate(pts, invariants, template, factor, start)
     assignment = result.payload
@@ -364,3 +399,106 @@ def azuma_baseline(
     in our tables is conservative.
     """
     return _synthesize(pts, invariants, "azuma", search_tol, eps_cap, verify)
+
+
+# -- analysis-engine protocol -------------------------------------------------------
+
+#: per-process memo of rebuilt probe constraint systems, keyed by
+#: (program spec, factor) — a pool worker assembles the (C1)-(C4) system
+#: once and then serves every eps-probe LP of the search from it
+_PROBE_SYSTEMS: Dict[Tuple[object, str], Tuple[List[TemplateConstraint], float]] = {}
+
+
+def _probe_system(spec, factor: str) -> Tuple[List[TemplateConstraint], float]:
+    key = (spec, factor)
+    cached = _PROBE_SYSTEMS.get(key)
+    if cached is None:
+        pts, invariants = spec.resolve()
+        template = ExpTemplate(pts, include_sinks=True)
+        constraints = _assemble_system(pts, invariants, template, factor)
+        multiplier = 8.0 if factor == "hoeffding" else 4.0
+        _PROBE_SYSTEMS.clear()  # one system at a time: they are large
+        _PROBE_SYSTEMS[key] = (constraints, multiplier)
+        cached = _PROBE_SYSTEMS[key]
+    return cached
+
+
+def synthesize_probe(task, deps=None, engine=None):
+    """Engine subtask: one Ser eps-probe LP (see :func:`_probe_lp`)."""
+    from repro.engine.task import CertificateResult
+
+    factor = task.param("factor", "hoeffding")
+    eps = float(task.param("eps"))
+    constraints, multiplier = _probe_system(task.program, factor)
+    start = time.perf_counter()
+    value, assignment = _probe_lp(constraints, multiplier, eps)
+    return CertificateResult(
+        algorithm=task.algorithm,
+        status="ok",
+        seconds=time.perf_counter() - start,
+        details={"value": value, "assignment": assignment},
+    )
+
+
+def synthesize(task, deps=None, engine=None):
+    """Engine entry point for ``hoeffding``/``azuma`` tasks.
+
+    With a parallel engine attached (``repro analyze --jobs N``), the
+    ternary search's probe rounds are emitted as ``hoeffding_probe``
+    subtasks and solved concurrently; each worker rebuilds the constraint
+    system from the program spec once (memoized per process) and the probe
+    LPs are pure functions of ``eps``, so the bracket — and therefore the
+    bound — is bit-identical to the serial search.
+    """
+    from repro.engine.task import AnalysisTask, CertificateResult, result_from_certificate
+
+    factor = "azuma" if task.algorithm == "azuma" else "hoeffding"
+    search_tol = float(task.param("search_tol", 1e-6))
+    eps_cap = float(task.param("eps_cap", 1e4))
+    verify = bool(task.param("verify", factor == "hoeffding"))
+    pts, invariants = task.program.resolve()
+
+    probe_batch = None
+    if engine is not None and engine.parallel:
+
+        def probe_batch(eps_values):
+            subtasks = [
+                AnalysisTask.make(
+                    "hoeffding_probe",
+                    task.program,
+                    params={"factor": factor, "eps": repr(eps)},
+                    task_id=f"{task.task_id}:probe:{i}:{eps!r}",
+                    cacheable=False,
+                )
+                for i, eps in enumerate(eps_values)
+            ]
+            outcomes = engine.map_subtasks(subtasks)
+            for eps, outcome in zip(eps_values, outcomes):
+                if not outcome.ok:
+                    raise SynthesisError(
+                        f"eps-probe {eps!r} failed: {outcome.error}"
+                    )
+            return [
+                (o.details["value"], o.details["assignment"]) for o in outcomes
+            ]
+
+    start = time.perf_counter()
+    try:
+        certificate = _synthesize(
+            pts, invariants, factor, search_tol, eps_cap, verify, probe_batch=probe_batch
+        )
+    except Exception as exc:
+        return CertificateResult.failure(task, exc, seconds=time.perf_counter() - start)
+    details = {"init_location": pts.init_location}
+    if certificate.reprsm is not None:
+        details.update(
+            reprsm_eps=certificate.reprsm.eps,
+            reprsm_beta=certificate.reprsm.beta,
+            reprsm_eta_init=certificate.reprsm.eta.render(pts.init_location),
+        )
+    return result_from_certificate(
+        task.algorithm,
+        certificate,
+        seconds=time.perf_counter() - start,
+        details=details,
+    )

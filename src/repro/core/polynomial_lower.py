@@ -34,7 +34,7 @@ from repro.core.invariants import InvariantMap, generate_interval_invariants
 from repro.core.polynomial import Polynomial, _poly_template, handelman_constraints
 from repro.core.termination import prove_almost_sure_termination
 
-__all__ = ["PolynomialLowerBound", "polynomial_exp_low_syn"]
+__all__ = ["PolynomialLowerBound", "polynomial_exp_low_syn", "synthesize"]
 
 
 class PolynomialLowerBound:
@@ -175,3 +175,40 @@ def polynomial_exp_low_syn(
     if verify:
         certificate.verify()
     return certificate
+
+
+# -- analysis-engine protocol -------------------------------------------------------
+
+
+def synthesize(task, deps=None, engine=None):
+    """Engine entry point for ``polynomial_lower`` tasks.
+
+    :class:`PolynomialLowerBound` does not share the exponential-template
+    certificate API (no per-location affine render), so the result carries
+    the bound and degrees only.
+    """
+    from repro.engine.task import CertificateResult
+
+    pts, invariants = task.program.resolve()
+    degree = int(task.param("degree", 2))
+    handelman_degree = task.param("handelman_degree")
+    start = time.perf_counter()
+    try:
+        certificate = polynomial_exp_low_syn(
+            pts,
+            invariants,
+            degree=degree,
+            handelman_degree=None if handelman_degree is None else int(handelman_degree),
+            assume_termination=bool(task.param("assume_termination", False)),
+            verify=bool(task.param("verify", True)),
+        )
+    except Exception as exc:
+        return CertificateResult.failure(task, exc, seconds=time.perf_counter() - start)
+    return CertificateResult(
+        algorithm=task.algorithm,
+        status="ok",
+        log_bound=certificate.log_bound,
+        seconds=time.perf_counter() - start,
+        solver_info=f"Handelman LP, degree {degree}",
+        details={"init_location": pts.init_location, "degree": degree},
+    )

@@ -1,0 +1,44 @@
+"""Unified analysis engine: task graphs + pluggable schedulers.
+
+Every synthesis the repository performs — a Table 1 row, a lower-bound
+certificate, a single eps-probe LP inside the Ser ternary search — is
+expressed as an :class:`AnalysisTask` (program + algorithm + parameters,
+with a deterministic cache key).  The :class:`AnalysisEngine` executes DAGs
+of such tasks through a pluggable :class:`Scheduler` (serial or process
+pool) with an optional on-disk :class:`ResultCache`, so parallelism and
+caching compose uniformly across all synthesis families and experiment
+tables instead of being re-plumbed per entry point.
+"""
+
+from repro.engine.task import (
+    AnalysisTask,
+    CertificateResult,
+    ProgramSpec,
+    result_from_certificate,
+    state_table_of,
+)
+from repro.engine.scheduler import (
+    ProcessPoolScheduler,
+    Scheduler,
+    SerialScheduler,
+    make_scheduler,
+)
+from repro.engine.cache import ResultCache
+from repro.engine.engine import ALGORITHMS, AnalysisEngine, engine_scope, execute_task
+
+__all__ = [
+    "AnalysisTask",
+    "CertificateResult",
+    "ProgramSpec",
+    "state_table_of",
+    "result_from_certificate",
+    "Scheduler",
+    "SerialScheduler",
+    "ProcessPoolScheduler",
+    "make_scheduler",
+    "ResultCache",
+    "ALGORITHMS",
+    "AnalysisEngine",
+    "engine_scope",
+    "execute_task",
+]

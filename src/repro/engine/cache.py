@@ -1,0 +1,74 @@
+"""On-disk result cache keyed by task content hash.
+
+One pickle file per :class:`~repro.engine.task.CertificateResult`, named by
+the task's ``cache_key`` (a sha256 of algorithm + program + parameters), so
+a cache hit is a single ``open()`` and unpickle.  Writes go through a
+temporary file + ``os.replace`` so concurrent workers or an interrupted run
+never leave a torn entry; a corrupt/unreadable entry is treated as a miss
+and overwritten on the next store.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.engine.task import CertificateResult
+
+__all__ = ["ResultCache", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+class ResultCache:
+    """Directory of pickled :class:`CertificateResult` entries."""
+
+    def __init__(self, directory=DEFAULT_CACHE_DIR):
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[CertificateResult]:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                result = pickle.load(fh)
+        except Exception:
+            # any unreadable entry is a miss: torn writes, a pickle from an
+            # older code version whose classes moved (ImportError /
+            # AttributeError), permission problems — the next store heals it
+            self.misses += 1
+            return None
+        if not isinstance(result, CertificateResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: CertificateResult) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({str(self.directory)!r}, hits={self.hits}, "
+            f"misses={self.misses}, stores={self.stores})"
+        )

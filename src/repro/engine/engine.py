@@ -1,0 +1,210 @@
+"""The :class:`AnalysisEngine`: execute task DAGs through a scheduler.
+
+The engine owns three orthogonal concerns that every entry point used to
+re-implement ad hoc:
+
+* **dispatch** — :data:`ALGORITHMS` maps a task's ``algorithm`` string to a
+  ``synthesize(task, deps, engine) -> CertificateResult`` function, resolved
+  lazily by dotted path so worker processes import only what they run and
+  the engine package stays import-cycle-free;
+* **scheduling** — :meth:`AnalysisEngine.run` topologically sorts the DAG
+  into waves of ready tasks and fans each wave through the pluggable
+  scheduler (results come back in submission order, so the output is
+  scheduler-independent);
+* **caching** — before a wave is scheduled, each cacheable task is looked up
+  in the optional on-disk :class:`~repro.engine.cache.ResultCache` by its
+  content hash; fresh ``ok`` results are stored back.
+
+In-process synthesizers can themselves emit subtasks via
+:meth:`AnalysisEngine.map_subtasks` — that is how the Ser ternary search
+solves the independent eps-probe LPs of one bracket step concurrently.
+"""
+
+from __future__ import annotations
+
+import importlib
+from contextlib import contextmanager
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import EngineError
+from repro.engine.cache import ResultCache
+from repro.engine.scheduler import SerialScheduler, make_scheduler
+from repro.engine.task import AnalysisTask, CertificateResult
+
+__all__ = ["ALGORITHMS", "AnalysisEngine", "engine_scope", "execute_task"]
+
+#: algorithm name -> "module:function" implementing the synthesize protocol
+ALGORITHMS: Dict[str, str] = {
+    "hoeffding": "repro.core.hoeffding:synthesize",
+    "azuma": "repro.core.hoeffding:synthesize",
+    "hoeffding_probe": "repro.core.hoeffding:synthesize_probe",
+    "explinsyn": "repro.core.explinsyn:synthesize",
+    "explowsyn": "repro.core.explowsyn:synthesize",
+    "polynomial_lower": "repro.core.polynomial_lower:synthesize",
+    "table1_baseline": "repro.experiments.table1:synthesize_baseline",
+}
+
+_RESOLVED = {}
+
+
+def _resolve(algorithm: str):
+    fn = _RESOLVED.get(algorithm)
+    if fn is None:
+        try:
+            target = ALGORITHMS[algorithm]
+        except KeyError:
+            raise EngineError(
+                f"unknown algorithm {algorithm!r}; known: {sorted(ALGORITHMS)}"
+            )
+        module_name, func_name = target.split(":")
+        fn = getattr(importlib.import_module(module_name), func_name)
+        _RESOLVED[algorithm] = fn
+    return fn
+
+
+def execute_task(
+    task: AnalysisTask,
+    deps: Optional[Mapping[str, CertificateResult]] = None,
+    engine: Optional["AnalysisEngine"] = None,
+) -> CertificateResult:
+    """Run one task; never raises — failures become ``status="error"``."""
+    try:
+        fn = _resolve(task.algorithm)
+        result = fn(task, deps=dict(deps or {}), engine=engine)
+    except Exception as exc:  # failures are data: tables record them per row
+        return CertificateResult.failure(task, exc)
+    result.task_key = task.cache_key
+    return result
+
+
+def _pool_execute(payload) -> CertificateResult:
+    """Top-level worker entry (picklable); runs without an engine, so any
+    subtask emission inside the synthesizer degrades to serial."""
+    task, deps = payload
+    return execute_task(task, deps=deps, engine=None)
+
+
+@contextmanager
+def engine_scope(engine=None, jobs: int = 1, cache: Optional[ResultCache] = None):
+    """Yield ``engine`` untouched, or a fresh one (built from ``jobs`` and
+    ``cache``) that is closed on exit — the shared lifecycle of every
+    harness entry point that accepts an optional caller-owned engine."""
+    if engine is not None:
+        yield engine
+        return
+    owned = AnalysisEngine.with_jobs(jobs, cache)
+    try:
+        yield owned
+    finally:
+        owned.close()
+
+
+class AnalysisEngine:
+    """Executes :class:`AnalysisTask` DAGs; see the module docstring."""
+
+    def __init__(self, scheduler=None, cache: Optional[ResultCache] = None):
+        self.scheduler = scheduler if scheduler is not None else SerialScheduler()
+        self.cache = cache
+
+    @staticmethod
+    def with_jobs(jobs: int = 1, cache: Optional[ResultCache] = None) -> "AnalysisEngine":
+        return AnalysisEngine(scheduler=make_scheduler(jobs), cache=cache)
+
+    # -- DAG execution -------------------------------------------------------------
+    def run(self, tasks: Sequence[AnalysisTask]) -> Dict[str, CertificateResult]:
+        """Execute a task DAG; returns ``task_id -> result``.
+
+        Tasks whose dependencies are all resolved form a wave; waves are
+        scheduled in input order, so with a serial scheduler execution order
+        is exactly the (stable) topological order of the input list.
+        """
+        tasks = list(tasks)
+        ids = [t.task_id for t in tasks]
+        if len(set(ids)) != len(ids):
+            dupes = sorted({i for i in ids if ids.count(i) > 1})
+            raise EngineError(f"duplicate task ids: {dupes}")
+        known = set(ids)
+        for t in tasks:
+            missing = [d for d in t.depends_on if d not in known]
+            if missing:
+                raise EngineError(f"task {t.task_id!r} depends on unknown {missing}")
+        results: Dict[str, CertificateResult] = {}
+        pending = list(tasks)
+        while pending:
+            ready = [t for t in pending if all(d in results for d in t.depends_on)]
+            if not ready:
+                raise EngineError(
+                    f"dependency cycle among {[t.task_id for t in pending]}"
+                )
+            pending = [t for t in pending if t not in ready]
+            to_run: List[AnalysisTask] = []
+            for t in ready:
+                cached = self._lookup(t)
+                if cached is not None:
+                    results[t.task_id] = cached
+                else:
+                    to_run.append(t)
+            payloads = [
+                (t, {d: results[d] for d in t.depends_on}) for t in to_run
+            ]
+            outs = self.scheduler.map(_pool_execute, payloads)
+            for t, out in zip(to_run, outs):
+                results[t.task_id] = out
+                self._store(t, out)
+        return results
+
+    def map(self, tasks: Sequence[AnalysisTask]) -> List[CertificateResult]:
+        """Dependency-free convenience: results in input order."""
+        results = self.run(tasks)
+        return [results[t.task_id] for t in tasks]
+
+    def run_inline(
+        self,
+        task: AnalysisTask,
+        deps: Optional[Mapping[str, CertificateResult]] = None,
+    ) -> CertificateResult:
+        """Execute one task in the calling process, passing the engine down
+        so the synthesizer may fan subtasks out (eps-probe LPs)."""
+        cached = self._lookup(task)
+        if cached is not None:
+            return cached
+        result = execute_task(task, deps=deps, engine=self)
+        self._store(task, result)
+        return result
+
+    def map_subtasks(self, tasks: Sequence[AnalysisTask]) -> List[CertificateResult]:
+        """Fan fine-grained subtasks straight through the scheduler —
+        no cache lookups, no DAG bookkeeping (subtasks are leaves)."""
+        return self.scheduler.map(_pool_execute, [(t, {}) for t in tasks])
+
+    @property
+    def parallel(self) -> bool:
+        return getattr(self.scheduler, "workers", 1) > 1
+
+    # -- cache plumbing ------------------------------------------------------------
+    def _lookup(self, task: AnalysisTask) -> Optional[CertificateResult]:
+        if self.cache is None or not task.cacheable:
+            return None
+        hit = self.cache.get(task.cache_key)
+        return hit.as_cached() if hit is not None else None
+
+    def _store(self, task: AnalysisTask, result: CertificateResult) -> None:
+        if (
+            self.cache is not None
+            and task.cacheable
+            and result.ok
+            and result.cache_ok
+        ):
+            self.cache.put(task.cache_key, result)
+
+    def close(self) -> None:
+        self.scheduler.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"AnalysisEngine(scheduler={self.scheduler!r}, cache={self.cache!r})"

@@ -1,0 +1,129 @@
+"""Pluggable execution backends for the analysis engine.
+
+A scheduler is anything with ``map(fn, items) -> list`` (order-preserving)
+and ``close()``.  Two implementations ship:
+
+* :class:`SerialScheduler` — in-process, zero overhead, the reference
+  behavior every parallel backend must reproduce bit-for-bit;
+* :class:`ProcessPoolScheduler` — a lazily created ``multiprocessing`` pool.
+  The pool is sized on first use to ``min(jobs, runnable tasks)`` (so
+  ``--jobs 0`` on a 3-row table forks 3 workers, not one per CPU) and grows
+  up to ``jobs`` if a later, wider batch arrives.
+
+Determinism: both backends return results in submission order, and every
+task executor is a pure function of its task, so scheduler choice never
+changes a certificate — only wall-clock time.  ``tests/test_engine.py``
+pins this down.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Protocol, Sequence, TypeVar, runtime_checkable
+
+__all__ = ["Scheduler", "SerialScheduler", "ProcessPoolScheduler", "make_scheduler"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """Order-preserving parallel map over picklable work items."""
+
+    workers: int
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]: ...
+
+    def close(self) -> None: ...
+
+
+class SerialScheduler:
+    """Run every task in the calling process, in order."""
+
+    workers = 1
+
+    def map(self, fn, items):
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def __repr__(self) -> str:
+        return "SerialScheduler()"
+
+
+class ProcessPoolScheduler:
+    """Fan batches out over a persistent ``multiprocessing.Pool``.
+
+    ``jobs=0`` means "one worker per CPU", but the pool is never larger
+    than the widest batch seen so far — spawning idle processes for small
+    task sets wastes fork+import time (ROADMAP: the 3-row tables).
+    """
+
+    def __init__(self, jobs: int = 0):
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        self.jobs = jobs if jobs > 0 else (os.cpu_count() or 1)
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        #: size of the live pool (0 until first use) — exposed for tests and
+        #: the runner's diagnostics
+        self.resolved_workers = 0
+
+    @property
+    def workers(self) -> int:
+        return self.jobs
+
+    def _ensure_pool(self, batch_size: int):
+        want = max(1, min(self.jobs, batch_size))
+        if self._pool is not None and self.resolved_workers < min(self.jobs, batch_size):
+            # a wider batch arrived: regrow (rare — first batch dominates)
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(processes=want)
+            self.resolved_workers = want
+        return self._pool
+
+    def map(self, fn, items):
+        items = list(items)
+        if not items:
+            return []
+        if len(items) == 1 or multiprocessing.current_process().daemon:
+            # nothing to fan out / already inside a pool worker (daemonic
+            # processes cannot fork children): degrade to serial
+            return [fn(item) for item in items]
+        pool = self._ensure_pool(len(items))
+        return pool.map(fn, items)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self.resolved_workers = 0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ProcessPoolScheduler(jobs={self.jobs})"
+
+
+def make_scheduler(jobs: int = 1):
+    """``jobs == 1`` or negative: serial; ``jobs == 0``: a per-CPU pool;
+    ``jobs > 1``: a pool of that size."""
+    if jobs == 1 or jobs < 0:
+        return SerialScheduler()
+    return ProcessPoolScheduler(jobs=jobs)

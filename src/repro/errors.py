@@ -54,3 +54,8 @@ class SynthesisError(ReproError):
 
 class VerificationError(ReproError):
     """A synthesized certificate failed independent re-verification."""
+
+
+class EngineError(ReproError):
+    """The analysis engine was given an invalid task graph (unknown
+    algorithm, duplicate task ids, dependency cycle, missing dependency)."""

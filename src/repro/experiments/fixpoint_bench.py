@@ -13,7 +13,11 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["FIXPOINT_WORKLOADS", "append_bench_run"]
+__all__ = [
+    "FIXPOINT_WORKLOADS",
+    "append_bench_run",
+    "best_recorded_sparse_seconds",
+]
 
 #: name -> (source, default max_states): small / iteration-heavy /
 #: state-heavy, covering both the dense and the CSR engine paths
@@ -63,3 +67,32 @@ def append_bench_run(
     runs.append(run)
     out.write_text(json.dumps(history, indent=2) + "\n")
     return len(runs)
+
+
+def best_recorded_sparse_seconds(
+    path, program: str, max_states: int
+) -> Optional[float]:
+    """Fastest ``sparse_seconds`` ever recorded for this exact workload
+    (same program name *and* state budget), or ``None`` if the trajectory
+    has no comparable entry.  This is the baseline of the ``-m bench``
+    regression gate: degrading more than 2x against the best known run
+    fails the benchmark suite.
+    """
+    source = Path(path)
+    if not source.exists():
+        return None
+    try:
+        history = json.loads(source.read_text())
+    except (json.JSONDecodeError, OSError):
+        return None
+    best: Optional[float] = None
+    for run in history.get("runs", []):
+        for entry in run.get("results", []):
+            if entry.get("program") != program:
+                continue
+            if entry.get("max_states") != max_states:
+                continue
+            seconds = entry.get("sparse_seconds")
+            if isinstance(seconds, (int, float)) and seconds > 0:
+                best = seconds if best is None else min(best, seconds)
+    return best

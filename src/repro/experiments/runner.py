@@ -8,11 +8,14 @@ Usage (installed package)::
     python -m repro.experiments.runner all
 
 ``table1`` accepts optional family filters (``Deviation``,
-``Concentration``, ``StoInv``) and ``--jobs N`` to fan independent rows
-out over a process pool.  Results print next to the paper-reported
-numbers; absolute agreement is not expected (our substrate is a
-from-scratch Python stack), but orderings and magnitudes should match —
-see ``EXPERIMENTS.md``.
+``Concentration``, ``StoInv``).  ``--jobs N`` fans the independent engine
+tasks of *every* target — Table 1 triples, Table 2 rows, the symbolic
+appendix — out over a process pool (``0`` = one worker per CPU, clamped to
+the number of runnable tasks); ``--cache [DIR]`` replays identical tasks
+from an on-disk result cache across targets and runs.  Results print next
+to the paper-reported numbers; absolute agreement is not expected (our
+substrate is a from-scratch Python stack), but orderings and magnitudes
+should match — see ``EXPERIMENTS.md``.
 """
 
 from __future__ import annotations
@@ -56,35 +59,52 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=1,
         metavar="N",
-        help="run Table 1 rows on a pool of N worker processes (rows are "
-        "independent benchmark families; 0 = one worker per CPU)",
+        help="run engine tasks (synthesis runs, baselines) on a pool of N "
+        "worker processes; 0 = one worker per CPU, clamped to the number "
+        "of runnable tasks",
+    )
+    from repro.engine.cache import DEFAULT_CACHE_DIR
+
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const=DEFAULT_CACHE_DIR,
+        default=None,
+        metavar="DIR",
+        help="replay identical tasks from an on-disk result cache "
+        f"(default DIR: {DEFAULT_CACHE_DIR})",
     )
     args = parser.parse_args(argv)
-    jobs = args.jobs
-    if jobs == 0:
-        import os
 
-        jobs = os.cpu_count() or 1
+    from repro.engine import AnalysisEngine, ResultCache, make_scheduler
+
+    cache = ResultCache(args.cache) if args.cache else None
+    engine = AnalysisEngine(scheduler=make_scheduler(args.jobs), cache=cache)
 
     start = time.perf_counter()
-    if args.target in ("table1", "all"):
-        rows = run_table1(
-            families=args.families or None,
-            with_hoeffding=not args.no_hoeffding,
-            with_baseline=not args.no_baseline,
-            jobs=jobs,
-        )
-        print("\n== Table 1: upper bounds on assertion violation ==")
-        print(format_table1(rows))
-    if args.target in ("table2", "all"):
-        rows2 = run_table2()
-        print("\n== Table 2: lower bounds on assertion violation ==")
-        print(format_table2(rows2))
-    if args.target in ("symbolic", "all"):
-        rows3 = run_symbolic_tables()
-        print("\n== Tables 3-5: symbolic bounds ==")
-        print(format_symbolic(rows3))
+    try:
+        if args.target in ("table1", "all"):
+            rows = run_table1(
+                families=args.families or None,
+                with_hoeffding=not args.no_hoeffding,
+                with_baseline=not args.no_baseline,
+                engine=engine,
+            )
+            print("\n== Table 1: upper bounds on assertion violation ==")
+            print(format_table1(rows))
+        if args.target in ("table2", "all"):
+            rows2 = run_table2(engine=engine)
+            print("\n== Table 2: lower bounds on assertion violation ==")
+            print(format_table2(rows2))
+        if args.target in ("symbolic", "all"):
+            rows3 = run_symbolic_tables(engine=engine)
+            print("\n== Tables 3-5: symbolic bounds ==")
+            print(format_symbolic(rows3))
+    finally:
+        engine.close()
     print(f"\ntotal {time.perf_counter() - start:.1f}s")
+    if cache is not None:
+        print(f"cache: {cache.hits} hit(s), {cache.stores} store(s) in {cache.directory}")
     return 0
 
 

@@ -5,6 +5,15 @@ template in symbolic form — ``exp(8 * eps * (a . v + b))`` for the
 Section 5.1 algorithm (Table 3), ``exp(a . v + b)`` for Section 5.2
 (Table 4) and Section 6 (Table 5).  This module renders our synthesized
 certificates the same way.
+
+Every row is one engine task (``hoeffding``/``explinsyn``/``explowsyn``),
+so ``--jobs N`` fans the whole appendix out over a process pool.  The
+``hoeffding`` tasks hash identically to Table 1's and the ``explowsyn``
+tasks to Table 2's, so a shared result cache replays those solves from a
+previous numeric run; Table 4's ``explinsyn`` tasks run cold here (Table 1
+warm-starts its sec5.2 tasks from the Hoeffding certificate, which is part
+of the cache key), so they are recomputed rather than risk replaying a
+differently-seeded solve.
 """
 
 from __future__ import annotations
@@ -30,15 +39,19 @@ class SymbolicRow:
     error: str = ""
 
 
-def symbolic_row_51(name: str, kwargs: Dict, label: str) -> SymbolicRow:
+def _render_51(eps: float, eta_init: str) -> str:
     """Table 3 style: ``exp(8 * eps * (eta))`` at the initial location."""
+    inner = eta_init[len("exp(") : -1]
+    return f"exp(8 * {eps:.3g} * ({inner}))"
+
+
+def symbolic_row_51(name: str, kwargs: Dict, label: str) -> SymbolicRow:
+    """Table 3 row via the direct API (tests and one-off exploration)."""
     inst = get_benchmark(name, **kwargs)
     try:
         cert = hoeffding_synthesis(inst.pts, inst.invariants)
         eta = cert.reprsm.eta.render(inst.pts.init_location)
-        inner = eta[len("exp(") : -1]
-        rendered = f"exp(8 * {cert.reprsm.eps:.3g} * ({inner}))"
-        return SymbolicRow(name, label, "3", rendered)
+        return SymbolicRow(name, label, "3", _render_51(cert.reprsm.eps, eta))
     except Exception as exc:
         return SymbolicRow(name, label, "3", "", error=str(exc))
 
@@ -65,24 +78,61 @@ def symbolic_row_6(name: str, kwargs: Dict, label: str) -> SymbolicRow:
         return SymbolicRow(name, label, "5", "", error=str(exc))
 
 
+def _assemble(table: str, name: str, label: str, result) -> SymbolicRow:
+    if not result.ok:
+        return SymbolicRow(name, label, table, "", error=result.error)
+    init = result.details.get("init_location", "")
+    if table == "3":
+        eta_init = result.details.get("reprsm_eta_init")
+        if eta_init is None:
+            return SymbolicRow(
+                name, label, table, "",
+                error="no RepRSM data (trivial or unreachable-failure certificate)",
+            )
+        return SymbolicRow(
+            name, label, table, _render_51(result.details["reprsm_eps"], eta_init)
+        )
+    return SymbolicRow(name, label, table, result.template_renders[init])
+
+
 def run_symbolic_tables(
     include_table3: bool = True,
     include_table4: bool = True,
     include_table5: bool = True,
     specs1: Optional[Sequence[Tuple[str, Dict, str]]] = None,
     specs2: Optional[Sequence[Tuple[str, Dict, str]]] = None,
+    jobs: int = 1,
+    engine=None,
 ) -> List[SymbolicRow]:
-    """Render all requested symbolic tables."""
-    rows: List[SymbolicRow] = []
-    for name, kwargs, label in specs1 if specs1 is not None else TABLE1_SPECS:
+    """Render all requested symbolic tables through the analysis engine."""
+    from repro.engine import AnalysisTask, ProgramSpec, engine_scope
+
+    specs1 = list(specs1 if specs1 is not None else TABLE1_SPECS)
+    specs2 = list(specs2 if specs2 is not None else TABLE2_SPECS)
+    plan: List[Tuple[str, str, str, str]] = []  # (table, name, label, task_id)
+    tasks = []
+    for name, kwargs, label in specs1:
+        spec = ProgramSpec.benchmark(name, **kwargs)
         if include_table3:
-            rows.append(symbolic_row_51(name, kwargs, label))
+            task = AnalysisTask.make("hoeffding", spec, task_id=f"sym3/{name}/{label}")
+            tasks.append(task)
+            plan.append(("3", name, label, task.task_id))
         if include_table4:
-            rows.append(symbolic_row_52(name, kwargs, label))
+            task = AnalysisTask.make("explinsyn", spec, task_id=f"sym4/{name}/{label}")
+            tasks.append(task)
+            plan.append(("4", name, label, task.task_id))
     if include_table5:
-        for name, kwargs, label in specs2 if specs2 is not None else TABLE2_SPECS:
-            rows.append(symbolic_row_6(name, kwargs, label))
-    return rows
+        for name, kwargs, label in specs2:
+            spec = ProgramSpec.benchmark(name, **kwargs)
+            task = AnalysisTask.make("explowsyn", spec, task_id=f"sym5/{name}/{label}")
+            tasks.append(task)
+            plan.append(("5", name, label, task.task_id))
+    with engine_scope(engine, jobs=jobs) as eng:
+        results = eng.run(tasks)
+    return [
+        _assemble(table, name, label, results[task_id])
+        for table, name, label, task_id in plan
+    ]
 
 
 def format_symbolic(rows: Sequence[SymbolicRow]) -> str:

@@ -10,6 +10,13 @@ For every benchmark/parameter row the harness runs
 
 and reports them next to the paper's published numbers
 (:mod:`repro.experiments.reference`).
+
+Each row decomposes into an analysis-engine task triple — ``hoeffding``,
+``explinsyn`` (warm-started from the Hoeffding certificate, preserving the
+row-wise completeness guarantee sec5.2 <= sec5.1) and ``table1_baseline`` —
+so ``--jobs N`` fans out up to 3x27 tasks instead of 27 rows, and a shared
+result cache serves identical tasks (e.g. the symbolic appendix tables)
+without re-solving.
 """
 
 from __future__ import annotations
@@ -28,10 +35,19 @@ from repro.core import (
     hoeffding_synthesis,
     synthesize_bounded_rsm,
 )
+from repro.errors import SynthesisError
 from repro.programs import BenchmarkInstance, get_benchmark
 from repro.experiments.reference import TABLE1, PaperRow, ln_to_log10
 
-__all__ = ["Table1Row", "TABLE1_SPECS", "run_row", "run_table1", "format_table1"]
+__all__ = [
+    "Table1Row",
+    "TABLE1_SPECS",
+    "run_row",
+    "run_table1",
+    "format_table1",
+    "row_tasks",
+    "synthesize_baseline",
+]
 
 
 @dataclass
@@ -147,10 +163,112 @@ def run_row(
     return row
 
 
-def _run_spec(spec: Tuple[str, Dict, str, bool, bool]) -> Table1Row:
-    """Top-level worker (must be picklable for the multiprocessing pool)."""
-    name, kwargs, label, with_hoeffding, with_baseline = spec
-    return run_row(name, kwargs, label, with_hoeffding, with_baseline)
+def synthesize_baseline(task, deps=None, engine=None):
+    """Engine entry point for ``table1_baseline`` tasks: the applicable
+    previous-work bound for the task's benchmark family."""
+    from repro.engine.task import CertificateResult
+
+    kwargs = dict(task.program.params)
+    start = time.perf_counter()
+    try:
+        instance = get_benchmark(task.program.name, **kwargs)
+        if instance.family == "Deviation":
+            ln = _deviation_baseline(task.program.name, kwargs)
+        elif instance.family == "Concentration":
+            ln = _concentration_baseline(instance, kwargs)
+        else:
+            ln = _stoinv_baseline(instance, kwargs)
+    except Exception as exc:
+        return CertificateResult.failure(task, exc, seconds=time.perf_counter() - start)
+    return CertificateResult(
+        algorithm=task.algorithm,
+        status="ok",
+        log_bound=float(ln),
+        seconds=time.perf_counter() - start,
+        solver_info=f"{instance.family} baseline",
+    )
+
+
+def row_tasks(
+    name: str,
+    kwargs: Dict,
+    label: str,
+    with_hoeffding: bool = True,
+    with_baseline: bool = True,
+) -> List:
+    """The engine task triple of one Table 1 row (see module docstring)."""
+    from repro.engine import AnalysisTask, ProgramSpec
+
+    spec = ProgramSpec.benchmark(name, **kwargs)
+    base = f"t1/{name}/{label}"
+    tasks = []
+    sec52_params: Dict[str, object] = {}
+    if with_hoeffding:
+        sec51 = AnalysisTask.make("hoeffding", spec, task_id=f"{base}/sec51")
+        tasks.append(sec51)
+        sec52_params["warm_start_from"] = f"{base}/sec51"
+        # fingerprint the warm-start producer into the cache key: the
+        # upstream result is a deterministic function of its own key, so
+        # two sec52 tasks share a cached result only when their warm
+        # starts are guaranteed equal
+        sec52_params["warm_start_key"] = sec51.cache_key
+    tasks.append(
+        AnalysisTask.make(
+            "explinsyn",
+            spec,
+            params=sec52_params,
+            task_id=f"{base}/sec52",
+            depends_on=(f"{base}/sec51",) if with_hoeffding else (),
+        )
+    )
+    if with_baseline:
+        tasks.append(
+            AnalysisTask.make("table1_baseline", spec, task_id=f"{base}/baseline")
+        )
+    return tasks
+
+
+def _assemble_row(
+    name: str,
+    kwargs: Dict,
+    label: str,
+    results,
+    with_hoeffding: bool,
+    with_baseline: bool,
+) -> Table1Row:
+    base = f"t1/{name}/{label}"
+    family = TABLE1[(name, label)].family if (name, label) in TABLE1 else ""
+    row = Table1Row(
+        family=family,
+        benchmark=name,
+        param_label=label,
+        paper=TABLE1.get((name, label)),
+    )
+    if with_hoeffding:
+        sec51 = results[f"{base}/sec51"]
+        row.sec51_seconds = sec51.seconds
+        if sec51.ok:
+            row.sec51_ln = sec51.log_bound
+        else:
+            row.error = f"sec5.1: {sec51.error}"
+    sec52 = results[f"{base}/sec52"]
+    if not sec52.ok:
+        # parity with the direct pipeline, where exp_lin_syn failures
+        # propagate instead of silently degrading the table
+        raise SynthesisError(f"Table 1 row {name} {label}: {sec52.error}")
+    row.sec52_ln = sec52.log_bound
+    row.sec52_seconds = sec52.seconds
+    # the engine resolves the benchmark inside the worker; recover the
+    # family from it when the row has no paper reference
+    if not row.family:
+        row.family = get_benchmark(name, **kwargs).family
+    if with_baseline:
+        baseline = results[f"{base}/baseline"]
+        if baseline.ok:
+            row.baseline_ln = baseline.log_bound
+        else:
+            row.error = (row.error + f" baseline: {baseline.error}").strip()
+    return row
 
 
 def run_table1(
@@ -158,24 +276,32 @@ def run_table1(
     with_hoeffding: bool = True,
     with_baseline: bool = True,
     jobs: int = 1,
+    engine=None,
 ) -> List[Table1Row]:
     """Compute all (or selected families of) Table 1 rows.
 
-    ``jobs > 1`` fans the rows out over a process pool — each row is an
-    independent synthesis pipeline (own PTS, own LPs), so the table
-    parallelizes embarrassingly; row order is preserved.
+    Rows are decomposed into engine tasks (:func:`row_tasks`) and executed
+    through ``engine`` — or a fresh one with ``jobs`` workers — so
+    ``jobs > 1`` fans out every synthesis and baseline across the table
+    while row order, warm starts and the formatted output stay exactly as
+    in a serial run.
     """
+    from repro.engine import engine_scope
+
     specs = [
-        (name, kwargs, label, with_hoeffding, with_baseline)
+        (name, kwargs, label)
         for name, kwargs, label in TABLE1_SPECS
         if families is None or TABLE1[(name, label)].family in families
     ]
-    if jobs > 1 and len(specs) > 1:
-        import multiprocessing
-
-        with multiprocessing.Pool(min(jobs, len(specs))) as pool:
-            return pool.map(_run_spec, specs)
-    return [_run_spec(spec) for spec in specs]
+    tasks = []
+    for name, kwargs, label in specs:
+        tasks.extend(row_tasks(name, kwargs, label, with_hoeffding, with_baseline))
+    with engine_scope(engine, jobs=jobs) as eng:
+        results = eng.run(tasks)
+    return [
+        _assemble_row(name, kwargs, label, results, with_hoeffding, with_baseline)
+        for name, kwargs, label in specs
+    ]
 
 
 def _fmt(ln: Optional[float]) -> str:

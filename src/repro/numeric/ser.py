@@ -6,13 +6,21 @@ The paper proves (Propositions 5/6) that after fixing ``eps`` the optimum
 ``f(eps) = 8 * eps * omega_opt(eps)`` is unimodal — strictly decreasing up
 to the unique optimizer and strictly increasing after it — which licenses a
 ternary search over ``eps``, each step solving one LP.
+
+The probes of one bracket step are *independent* LPs (the two interior
+points ``m1``/``m2``, and the three opening probes ``lo``/``hi``/``mid``),
+so the search accepts an optional ``evaluate_batch`` callback that solves a
+list of eps values at once — the analysis engine routes it to a process
+pool.  Because every probe is a pure function of ``eps`` and the batch form
+evaluates exactly the points the serial loop would, the returned bracket
+and bound are bit-identical regardless of backend.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Generic, Optional, Tuple, TypeVar
+from typing import Callable, Dict, Generic, List, Optional, Sequence, Tuple, TypeVar
 
 __all__ = ["SerResult", "ternary_search"]
 
@@ -39,6 +47,9 @@ def ternary_search(
     hi: float,
     tol: float = 1e-6,
     max_iters: int = 120,
+    evaluate_batch: Optional[
+        Callable[[Sequence[float]], List[Tuple[float, Payload]]]
+    ] = None,
 ) -> SerResult:
     """Minimize a unimodal ``f`` over ``[lo, hi]``.
 
@@ -46,17 +57,39 @@ def ternary_search(
     infeasible ``eps``.  The search keeps the best evaluated point (so a
     useful answer survives even if unimodality is broken by LP tolerance)
     and stops when the bracket is narrower than ``tol`` (absolute).
+
+    ``evaluate_batch``, when given, is used for the multi-point rounds and
+    must return one ``(value, payload)`` per input point, in order; single
+    leftover points still go through ``f``.
     """
     cache: Dict[float, Tuple[float, Payload]] = {}
 
-    def eval_cached(x: float) -> Tuple[float, Payload]:
-        if x not in cache:
-            cache[x] = f(x)
-        return cache[x]
+    def eval_round(xs: Sequence[float]) -> None:
+        missing, seen = [], set()
+        for x in xs:
+            if x not in cache and x not in seen:
+                missing.append(x)
+                seen.add(x)
+        if not missing:
+            return
+        if evaluate_batch is not None and len(missing) > 1:
+            outcomes = evaluate_batch(missing)
+            if len(outcomes) != len(missing):
+                raise ValueError(
+                    f"evaluate_batch returned {len(outcomes)} results for "
+                    f"{len(missing)} probes"
+                )
+            for x, outcome in zip(missing, outcomes):
+                cache[x] = outcome
+        else:
+            for x in missing:
+                cache[x] = f(x)
 
-    best_eps, (best_value, best_payload) = lo, eval_cached(lo)
-    for probe in (hi, 0.5 * (lo + hi)):
-        value, payload = eval_cached(probe)
+    opening = [lo, hi, 0.5 * (lo + hi)]
+    eval_round(opening)
+    best_eps, (best_value, best_payload) = lo, cache[lo]
+    for probe in opening[1:]:
+        value, payload = cache[probe]
         if value < best_value:
             best_eps, best_value, best_payload = probe, value, payload
 
@@ -66,8 +99,9 @@ def ternary_search(
         iters += 1
         m1 = left + (right - left) / 3.0
         m2 = right - (right - left) / 3.0
-        v1, p1 = eval_cached(m1)
-        v2, p2 = eval_cached(m2)
+        eval_round([m1, m2])
+        v1, p1 = cache[m1]
+        v2, p2 = cache[m2]
         if v1 < best_value:
             best_eps, best_value, best_payload = m1, v1, p1
         if v2 < best_value:

@@ -104,3 +104,37 @@ class TestSimulateExact:
         assert main(["exact", chain_file, "--max-states", "100000"]) == 0
         out = capsys.readouterr().out
         assert "vpf bracket" in out
+
+
+class TestAnalyzeEngineFlags:
+    def test_jobs_parallel_probes_match_serial(self, race_file, capsys):
+        assert main(["analyze", race_file, "--method", "hoeffding"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["analyze", race_file, "--method", "hoeffding", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # identical bound, template and Ser trajectory; only the timing
+        # line may differ
+        strip = lambda text: [
+            line for line in text.splitlines() if not line.startswith("  solved in")
+        ]
+        assert strip(serial) == strip(parallel)
+
+    def test_cache_replays_analysis(self, race_file, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        assert main(["analyze", race_file, "--cache", cache_dir]) == 0
+        first = capsys.readouterr().out
+        assert main(["analyze", race_file, "--cache", cache_dir]) == 0
+        second = capsys.readouterr().out
+        assert "(cached)" not in first and "(cached)" in second
+        assert first.splitlines()[0] == second.splitlines()[0]  # same bound
+
+
+@pytest.mark.smoke
+class TestSelftest:
+    def test_all_families_pass(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        for family in ("hoeffding", "explinsyn", "explowsyn", "polynomial_lower"):
+            assert family in out
+        assert "4/4 families ok" in out
