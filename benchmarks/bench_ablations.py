@@ -11,7 +11,6 @@
 """
 
 import math
-from fractions import Fraction
 
 import pytest
 
@@ -26,7 +25,7 @@ from repro.core import (
     value_iteration,
 )
 from repro.polyhedra import AffineIneq, Polyhedron, decompose, FarkasEncoder
-from repro.polyhedra.linexpr import LinExpr, var
+from repro.polyhedra.linexpr import var
 from repro.programs import get_benchmark
 
 LN10 = math.log(10.0)

@@ -5,7 +5,6 @@ the per-row runtimes of Table 1, so we track them separately.
 """
 
 import random
-from fractions import Fraction
 
 import pytest
 
@@ -13,8 +12,8 @@ pytestmark = pytest.mark.bench
 
 from repro.lang import compile_source, parse_program
 from repro.numeric.lp import LinearProgram
-from repro.polyhedra import AffineIneq, Polyhedron, polyhedron_generators
-from repro.polyhedra.linexpr import LinExpr, var
+from repro.polyhedra import Polyhedron, polyhedron_generators
+from repro.polyhedra.linexpr import LinExpr
 from repro.core import generate_interval_invariants, generate_zone_invariants, value_iteration
 
 RACE = """

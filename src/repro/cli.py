@@ -14,6 +14,11 @@ Commands
                and append the results to ``BENCH_fixpoint.json``
 ``selftest``   one fast task per synthesis family through the analysis
                engine — a pre-push smoke gate (< 60 s)
+``workers``    manage the persistent worker service (``start|stop|status``)
+               that keeps a warm process pool alive *across* CLI
+               invocations; route analyses to it with ``analyze --workers``
+``cache``      inspect (``stats``) or size-bound (``gc``) the on-disk
+               result cache — eviction is LRU by mtime under a byte budget
 
 Programs are written in the paper's surface syntax, e.g.::
 
@@ -71,21 +76,15 @@ def _cmd_analyze(args) -> int:
     from pathlib import Path as _Path
 
     from repro.errors import SynthesisError
-    from repro.engine import (
-        AnalysisEngine,
-        AnalysisTask,
-        ProgramSpec,
-        ResultCache,
-        make_scheduler,
-    )
+    from repro.engine import AnalysisTask, ProgramSpec
+    from repro.engine.args import engine_from_args
     from repro.utils.logspace import format_log_bound
 
     path = _Path(args.file)
     spec = ProgramSpec.from_source(
         path.read_text(), name=path.stem, integer_mode=not args.real_valued
     )
-    cache = ResultCache(args.cache) if args.cache else None
-    engine = AnalysisEngine(scheduler=make_scheduler(args.jobs), cache=cache)
+    engine = engine_from_args(args)
 
     def run(algorithm: str):
         # run_inline keeps the engine attached, so a parallel scheduler fans
@@ -261,6 +260,99 @@ def _cmd_selftest(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_workers(args) -> int:
+    from repro.engine.workers import (
+        service_status,
+        start_service,
+        stop_service,
+    )
+
+    if args.action == "start":
+        status = start_service(
+            args.dir,
+            jobs=args.jobs,
+            idle_timeout=args.idle_timeout,
+            foreground=args.foreground,
+        )
+        if status.get("exited"):
+            return 0
+        if status.get("already_running"):
+            print(
+                f"worker service already running: pid={status['pid']} "
+                f"jobs={status['jobs']} (requested flags ignored — "
+                f"`repro workers stop` first to reconfigure)"
+            )
+            return 0
+        print(
+            f"worker service up: pid={status['pid']} jobs={status['jobs']} "
+            f"idle_timeout={status['idle_timeout']:.0f}s dir={args.dir}"
+        )
+        return 0
+    if args.action == "status":
+        status = service_status(args.dir)
+        if status is None:
+            print(f"worker service: down (dir={args.dir})")
+            return 1
+        print(
+            f"worker service: up  pid={status['pid']} jobs={status['jobs']} "
+            f"uptime={status['uptime_seconds']:.0f}s "
+            f"served={status['tasks_served']} inflight={status['inflight']}"
+        )
+        return 0
+    # stop
+    was_running = stop_service(args.dir)
+    print(
+        f"worker service {'stopped' if was_running else 'was not running'} "
+        f"(dir={args.dir})"
+    )
+    return 0
+
+
+def _fmt_bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n} B"  # pragma: no cover - loop always returns
+
+
+def _cmd_cache(args) -> int:
+    from repro.engine.cache import ResultCache, parse_size
+
+    cache = ResultCache(args.dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        budget = _fmt_bytes(stats.max_bytes) if stats.max_bytes else "unbounded"
+        print(f"cache directory : {stats.directory}")
+        print(f"entries         : {stats.entries}")
+        print(f"total size      : {_fmt_bytes(stats.total_bytes)}")
+        print(f"byte budget     : {budget}")
+        print(f"oldest entry    : {stats.oldest_age_seconds:.0f}s ago")
+        return 0
+    # gc
+    try:
+        budget = (
+            parse_size(args.max_bytes) if args.max_bytes is not None else cache.max_bytes
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if budget <= 0:
+        print(
+            "error: no byte budget — pass --max-bytes or set "
+            "REPRO_CACHE_MAX_BYTES",
+            file=sys.stderr,
+        )
+        return 2
+    report = cache.gc(budget)
+    print(
+        f"evicted {report.evicted} entr{'y' if report.evicted == 1 else 'ies'} "
+        f"({_fmt_bytes(report.freed_bytes)}); kept {report.kept} "
+        f"({_fmt_bytes(report.kept_bytes)}) under {_fmt_bytes(budget)}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -288,24 +380,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="explinsyn",
         help="upper-bound algorithm (default: the complete Section 5.2 one)",
     )
-    p_analyze.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="solve independent engine subtasks (Hoeffding eps-probe LPs) "
-        "on N worker processes; 0 = one per CPU, clamped to the batch",
-    )
+    from repro.engine.args import add_engine_args
     from repro.engine.cache import DEFAULT_CACHE_DIR
+    from repro.engine.workers import DEFAULT_IDLE_TIMEOUT, DEFAULT_WORKERS_DIR
 
-    p_analyze.add_argument(
-        "--cache",
-        nargs="?",
-        const=DEFAULT_CACHE_DIR,
-        default=None,
-        metavar="DIR",
-        help="replay identical analyses from an on-disk result cache "
-        f"(default DIR: {DEFAULT_CACHE_DIR})",
+    add_engine_args(
+        p_analyze,
+        jobs_help="solve independent engine subtasks (Hoeffding eps-probe "
+        "LPs) on up to N worker processes; 0 = one per CPU",
     )
     p_analyze.set_defaults(fn=_cmd_analyze)
 
@@ -359,6 +441,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan the family tasks out over N worker processes (0 = per CPU)",
     )
     p_self.set_defaults(fn=_cmd_selftest)
+
+    p_workers = sub.add_parser(
+        "workers",
+        help="manage the persistent worker service (a warm process pool "
+        "shared across CLI invocations)",
+    )
+    p_workers.add_argument("action", choices=["start", "stop", "status"])
+    p_workers.add_argument(
+        "--dir",
+        default=DEFAULT_WORKERS_DIR,
+        metavar="DIR",
+        help=f"service state directory (default: {DEFAULT_WORKERS_DIR})",
+    )
+    p_workers.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes for the service pool (0 = one per CPU)",
+    )
+    p_workers.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=DEFAULT_IDLE_TIMEOUT,
+        metavar="SECONDS",
+        help="shut the service down after this long without requests "
+        f"(default: {DEFAULT_IDLE_TIMEOUT:.0f}s; 0 = never)",
+    )
+    p_workers.add_argument(
+        "--foreground",
+        action="store_true",
+        help="serve in the foreground instead of daemonizing",
+    )
+    p_workers.set_defaults(fn=_cmd_workers)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or garbage-collect the on-disk result cache"
+    )
+    p_cache.add_argument("action", choices=["stats", "gc"])
+    p_cache.add_argument(
+        "--dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    p_cache.add_argument(
+        "--max-bytes",
+        default=None,
+        metavar="SIZE",
+        help="byte budget for gc, e.g. 64M or 2g (default: "
+        "REPRO_CACHE_MAX_BYTES)",
+    )
+    p_cache.set_defaults(fn=_cmd_cache)
     return parser
 
 

@@ -19,10 +19,8 @@ Three prior methods appear in the paper's Tables 1 and 2:
 
 from __future__ import annotations
 
-import math
 import time
 from dataclasses import dataclass
-from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import InfeasibleError, SolverError, SynthesisError

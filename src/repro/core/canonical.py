@@ -22,13 +22,13 @@ unknown names.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.polyhedra.constraints import Polyhedron
 from repro.polyhedra.linexpr import LinExpr
-from repro.pts.model import PTS, Fork, Transition
+from repro.pts.model import PTS, Fork
 from repro.core.invariants import InvariantMap
 from repro.core.templates import ExpTemplate
 

@@ -22,10 +22,8 @@ from __future__ import annotations
 
 import math
 import random
-import time
 from dataclasses import dataclass, field
-from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import VerificationError
 from repro.polyhedra.minkowski import decompose

@@ -49,10 +49,9 @@ to raise now that a sweep is a matvec.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 from scipy.sparse import csr_matrix

@@ -28,15 +28,12 @@ import time
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import (
-    InfeasibleError,
-    SolverError,
-    SynthesisError,
-    UnboundedSupportError,
-)
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.errors import InfeasibleError, SolverError, SynthesisError, TaskError
 from repro.numeric.lp import LinearProgram
 from repro.numeric.ser import ternary_search
-from repro.polyhedra.constraints import AffineIneq, Polyhedron
+from repro.polyhedra.constraints import Polyhedron
 from repro.polyhedra.farkas import FarkasEncoder, TemplateConstraint
 from repro.polyhedra.linexpr import LinExpr
 from repro.pts.model import PTS
@@ -264,7 +261,7 @@ def _synthesize(
     search_tol: float,
     eps_cap: float,
     verify: bool,
-    probe_batch=None,
+    probe_submit=None,
 ) -> UpperBoundCertificate:
     start = time.perf_counter()
     if invariants is None:
@@ -315,7 +312,7 @@ def _synthesize(
         0.0,
         eps_max,
         tol=max(search_tol, search_tol * eps_max),
-        evaluate_batch=probe_batch,
+        evaluate_submit=probe_submit,
     )
     if result.payload is None or result.value >= 0:
         return _trivial_certificate(pts, invariants, template, factor, start)
@@ -440,15 +437,35 @@ def synthesize_probe(task, deps=None, engine=None):
     )
 
 
+class _ProbeHandle:
+    """Adapter from an engine subtask future to the ``(value, assignment)``
+    pair the ternary search expects; a failed probe surfaces as a
+    :class:`SynthesisError` at collection time."""
+
+    __slots__ = ("_future", "_eps")
+
+    def __init__(self, future, eps):
+        self._future = future
+        self._eps = eps
+
+    def result(self):
+        outcome = self._future.result()
+        if not outcome.ok:
+            raise SynthesisError(f"eps-probe {self._eps!r} failed: {outcome.error}")
+        return outcome.details["value"], outcome.details["assignment"]
+
+
 def synthesize(task, deps=None, engine=None):
     """Engine entry point for ``hoeffding``/``azuma`` tasks.
 
     With a parallel engine attached (``repro analyze --jobs N``), the
     ternary search's probe rounds are emitted as ``hoeffding_probe``
-    subtasks and solved concurrently; each worker rebuilds the constraint
-    system from the program spec once (memoized per process) and the probe
-    LPs are pure functions of ``eps``, so the bracket — and therefore the
-    bound — is bit-identical to the serial search.
+    subtasks and *streamed* through the engine's executor as futures — no
+    barrier map, so the probes share worker capacity with whatever else is
+    in flight.  Each worker rebuilds the constraint system from the program
+    spec once (memoized per process) and the probe LPs are pure functions
+    of ``eps``, so the bracket — and therefore the bound — is bit-identical
+    to the serial search.
     """
     from repro.engine.task import AnalysisTask, CertificateResult, result_from_certificate
 
@@ -458,10 +475,10 @@ def synthesize(task, deps=None, engine=None):
     verify = bool(task.param("verify", factor == "hoeffding"))
     pts, invariants = task.program.resolve()
 
-    probe_batch = None
+    probe_submit = None
     if engine is not None and engine.parallel:
 
-        def probe_batch(eps_values):
+        def probe_submit(eps_values):
             subtasks = [
                 AnalysisTask.make(
                     "hoeffding_probe",
@@ -472,21 +489,23 @@ def synthesize(task, deps=None, engine=None):
                 )
                 for i, eps in enumerate(eps_values)
             ]
-            outcomes = engine.map_subtasks(subtasks)
-            for eps, outcome in zip(eps_values, outcomes):
-                if not outcome.ok:
-                    raise SynthesisError(
-                        f"eps-probe {eps!r} failed: {outcome.error}"
-                    )
+            futures = engine.submit_subtasks(subtasks)
             return [
-                (o.details["value"], o.details["assignment"]) for o in outcomes
+                _ProbeHandle(future, eps)
+                for future, eps in zip(futures, eps_values)
             ]
 
     start = time.perf_counter()
     try:
         certificate = _synthesize(
-            pts, invariants, factor, search_tol, eps_cap, verify, probe_batch=probe_batch
+            pts, invariants, factor, search_tol, eps_cap, verify, probe_submit=probe_submit
         )
+    except BrokenProcessPool as exc:
+        # a probe worker died: that is an infrastructure casualty, not a
+        # synthesis failure — do not let it masquerade as an error row
+        raise TaskError(
+            "worker process died while solving eps-probe LPs; the pool is gone"
+        ) from exc
     except Exception as exc:
         return CertificateResult.failure(task, exc, seconds=time.perf_counter() - start)
     details = {"init_location": pts.init_location}

@@ -18,9 +18,8 @@ This module provides:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ModelError
 from repro.polyhedra.constraints import AffineIneq, Polyhedron

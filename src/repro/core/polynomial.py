@@ -18,12 +18,10 @@ exact rational LP — no SDP numerics.
 from __future__ import annotations
 
 import itertools
-import math
 import time
-from dataclasses import dataclass
 from fractions import Fraction
 from functools import lru_cache
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import InfeasibleError, ModelError, SolverError, SynthesisError
 from repro.numeric.lp import LinearProgram
@@ -32,7 +30,7 @@ from repro.polyhedra.constraints import Polyhedron
 from repro.polyhedra.linexpr import LinExpr
 from repro.pts.model import PTS
 from repro.utils.numbers import Number, as_fraction
-from repro.core.certificates import RepRSMData, UpperBoundCertificate
+from repro.core.certificates import UpperBoundCertificate
 from repro.core.invariants import InvariantMap, generate_interval_invariants
 
 __all__ = ["Polynomial", "handelman_constraints", "polynomial_hoeffding_synthesis"]

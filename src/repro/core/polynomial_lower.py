@@ -17,7 +17,7 @@ import math
 import random
 import time
 from fractions import Fraction
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.errors import (
     InfeasibleError,

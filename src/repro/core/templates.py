@@ -11,9 +11,9 @@ the paper's appendix tables.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from repro.errors import ModelError
 from repro.polyhedra.linexpr import LinExpr

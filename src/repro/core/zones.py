@@ -14,11 +14,9 @@ Canonicalization is the all-pairs shortest-path closure; an inconsistent
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ModelError
 from repro.polyhedra.constraints import AffineIneq, Polyhedron
 from repro.polyhedra.linexpr import LinExpr
 from repro.pts.model import PTS

@@ -1,0 +1,62 @@
+"""Shared argparse wiring for entry points that own an ``AnalysisEngine``.
+
+``repro analyze`` and the experiments runner accept the same engine
+surface (``--jobs`` / ``--cache`` / ``--workers``); keeping the argument
+definitions and the engine construction here means the two entry points
+cannot drift — in particular the ``--workers``-overrides-``--jobs``
+interaction lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["add_engine_args", "engine_from_args"]
+
+
+def add_engine_args(parser, jobs_help: str) -> None:
+    """Add ``--jobs``/``--cache``/``--workers`` to ``parser``.
+
+    ``jobs_help`` differs per entry point (the runner fans out table
+    tasks, ``analyze`` fans out eps-probe LPs); the other two options are
+    uniform.
+    """
+    from repro.engine.cache import DEFAULT_CACHE_DIR
+    from repro.engine.workers import DEFAULT_WORKERS_DIR
+
+    parser.add_argument("--jobs", type=int, default=1, metavar="N", help=jobs_help)
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const=DEFAULT_CACHE_DIR,
+        default=None,
+        metavar="DIR",
+        help="replay identical tasks from an on-disk result cache "
+        f"(default DIR: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--workers",
+        nargs="?",
+        const=DEFAULT_WORKERS_DIR,
+        default=None,
+        metavar="DIR",
+        help="route engine tasks to the persistent worker service in DIR "
+        f"(default: {DEFAULT_WORKERS_DIR}; start it with `repro workers "
+        "start`) instead of forking a fresh pool",
+    )
+
+
+def engine_from_args(args):
+    """Build the engine an entry point's parsed ``args`` describe."""
+    from repro.engine import AnalysisEngine, ResultCache, make_scheduler
+
+    cache = ResultCache(args.cache) if args.cache else None
+    if args.workers is not None and args.jobs != 1:
+        print(
+            "note: --workers routes tasks to the service's pool; --jobs is "
+            "ignored (size the pool with `repro workers start --jobs N`)",
+            file=sys.stderr,
+        )
+    return AnalysisEngine(
+        scheduler=make_scheduler(args.jobs, workers_dir=args.workers), cache=cache
+    )

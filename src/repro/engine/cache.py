@@ -1,4 +1,4 @@
-"""On-disk result cache keyed by task content hash.
+"""On-disk result cache keyed by task content hash, with size-based GC.
 
 One pickle file per :class:`~repro.engine.task.CertificateResult`, named by
 the task's ``cache_key`` (a sha256 of algorithm + program + parameters), so
@@ -6,6 +6,20 @@ a cache hit is a single ``open()`` and unpickle.  Writes go through a
 temporary file + ``os.replace`` so concurrent workers or an interrupted run
 never leave a torn entry; a corrupt/unreadable entry is treated as a miss
 and overwritten on the next store.
+
+Eviction is least-recently-used by file mtime under a configurable byte
+budget (``max_bytes`` or the ``REPRO_CACHE_MAX_BYTES`` environment
+variable; ``0`` means unbounded): hits re-touch their entry, so hot results
+survive and cold ones age out oldest-first.  Two invariants:
+
+* GC **never evicts an entry written by the current process's run** — a
+  sweep that both fills and collects the cache must not cannibalize its own
+  results mid-flight;
+* GC only ever deletes ``*.pkl`` files in the cache directory (plus its
+  own orphaned ``*.tmp`` spill files), never anything else.
+
+``repro cache stats`` and ``repro cache gc`` expose the same machinery
+from the command line.
 """
 
 from __future__ import annotations
@@ -13,24 +27,90 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
+from repro.errors import ReproError
 from repro.engine.task import CertificateResult
 
-__all__ = ["ResultCache", "DEFAULT_CACHE_DIR"]
+__all__ = ["CacheStats", "GCReport", "ResultCache", "DEFAULT_CACHE_DIR", "parse_size"]
 
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: byte budget taken from the environment when the constructor gets none;
+#: unset/empty/0 means "never evict" (the pre-GC behavior)
+MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
+
+#: age before an orphaned ``*.tmp`` spill (a writer that died between
+#: mkstemp and os.replace) is assumed dead and swept
+_TMP_ORPHAN_SECONDS = 3600.0
+
+
+def parse_size(text: str) -> int:
+    """``"500"``/``"64k"``/``"128M"``/``"2g"`` -> bytes (suffixes are
+    case-insensitive, powers of 1024)."""
+    cleaned = str(text).strip().lower()
+    if not cleaned:
+        raise ValueError("empty size")
+    factor = 1
+    if cleaned[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[cleaned[-1]]
+        cleaned = cleaned[:-1]
+    try:
+        value = float(cleaned)
+    except ValueError:
+        raise ValueError(f"unparsable size {text!r} (use e.g. 500, 64k, 128M, 2g)")
+    if value < 0:
+        raise ValueError(f"size must be >= 0, got {text!r}")
+    return int(value * factor)
+
+
+@dataclass
+class CacheStats:
+    """Snapshot of the on-disk state (``repro cache stats``)."""
+
+    directory: str
+    entries: int
+    total_bytes: int
+    max_bytes: int
+    oldest_age_seconds: float
+
+
+@dataclass
+class GCReport:
+    """Outcome of one eviction sweep (``repro cache gc``)."""
+
+    evicted: int
+    freed_bytes: int
+    kept: int
+    kept_bytes: int
+    protected: int  # entries spared because this run wrote them
 
 
 class ResultCache:
     """Directory of pickled :class:`CertificateResult` entries."""
 
-    def __init__(self, directory=DEFAULT_CACHE_DIR):
+    def __init__(self, directory=DEFAULT_CACHE_DIR, max_bytes: Optional[int] = None):
         self.directory = Path(directory)
+        if max_bytes is None:
+            raw = os.environ.get(MAX_BYTES_ENV) or "0"
+            try:
+                max_bytes = parse_size(raw)
+            except ValueError as exc:
+                # a typo'd env var must fail as a clean CLI error, not a
+                # traceback out of every command that touches a cache
+                raise ReproError(f"${MAX_BYTES_ENV}: {exc}") from None
+        self.max_bytes = int(max_bytes)
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
+        #: keys stored by this process — GC's do-not-evict set
+        self._session_keys = set()
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
@@ -50,6 +130,10 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            os.utime(path)  # LRU touch: a hit is a use
+        except OSError:
+            pass
         return result
 
     def put(self, key: str, result: CertificateResult) -> None:
@@ -66,9 +150,100 @@ class ResultCache:
                 pass
             raise
         self.stores += 1
+        self._session_keys.add(key)
+
+    # -- garbage collection --------------------------------------------------------
+    def _entries(self):
+        """``(mtime, size, key, path)`` for every entry, oldest first."""
+        entries = []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        for name in names:
+            if not name.endswith(".pkl"):
+                continue
+            path = self.directory / name
+            try:
+                stat = path.stat()
+            except OSError:  # raced with another process's eviction
+                continue
+            entries.append((stat.st_mtime, stat.st_size, name[: -len(".pkl")], path))
+        entries.sort(key=lambda e: (e[0], e[2]))
+        return entries
+
+    def stats(self) -> CacheStats:
+        entries = self._entries()
+        now = time.time()
+        return CacheStats(
+            directory=str(self.directory),
+            entries=len(entries),
+            total_bytes=sum(size for _, size, _, _ in entries),
+            max_bytes=self.max_bytes,
+            oldest_age_seconds=max(0.0, now - entries[0][0]) if entries else 0.0,
+        )
+
+    def gc(self, max_bytes: Optional[int] = None) -> GCReport:
+        """Evict oldest-first until the directory fits the byte budget.
+
+        Entries written by this run are never evicted (they would be, by
+        construction, the *newest*, but clock skew or a bulk import must
+        not be able to break that promise).  ``max_bytes=0`` — or an
+        unconfigured cache — evicts nothing.
+        """
+        budget = self.max_bytes if max_bytes is None else int(max_bytes)
+        self._sweep_orphan_tmps()
+        entries = self._entries()
+        total = sum(size for _, size, _, _ in entries)
+        evicted = freed = protected = 0
+        if budget > 0:
+            for _, size, key, path in entries:
+                if total <= budget:
+                    break
+                if key in self._session_keys:
+                    protected += 1
+                    continue
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                evicted += 1
+                freed += size
+                total -= size
+        self.evictions += evicted
+        return GCReport(
+            evicted=evicted,
+            freed_bytes=freed,
+            kept=len(entries) - evicted,
+            kept_bytes=total,
+            protected=protected,
+        )
+
+    def gc_if_configured(self) -> Optional[GCReport]:
+        """The engine's close hook: collect only when a budget is set."""
+        if self.max_bytes > 0:
+            return self.gc()
+        return None
+
+    def _sweep_orphan_tmps(self) -> None:
+        cutoff = time.time() - _TMP_ORPHAN_SECONDS
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".tmp"):
+                continue
+            path = self.directory / name
+            try:
+                if path.stat().st_mtime < cutoff:
+                    os.unlink(path)
+            except OSError:
+                continue
 
     def __repr__(self) -> str:
         return (
             f"ResultCache({str(self.directory)!r}, hits={self.hits}, "
-            f"misses={self.misses}, stores={self.stores})"
+            f"misses={self.misses}, stores={self.stores}, "
+            f"evictions={self.evictions})"
         )

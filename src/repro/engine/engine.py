@@ -7,26 +7,44 @@ re-implement ad hoc:
   ``synthesize(task, deps, engine) -> CertificateResult`` function, resolved
   lazily by dotted path so worker processes import only what they run and
   the engine package stays import-cycle-free;
-* **scheduling** — :meth:`AnalysisEngine.run` topologically sorts the DAG
-  into waves of ready tasks and fans each wave through the pluggable
-  scheduler (results come back in submission order, so the output is
-  scheduler-independent);
-* **caching** — before a wave is scheduled, each cacheable task is looked up
-  in the optional on-disk :class:`~repro.engine.cache.ResultCache` by its
-  content hash; fresh ``ok`` results are stored back.
+* **scheduling** — :meth:`AnalysisEngine.run` is *completion-driven*: a
+  ready-set keyed on outstanding dependency counts submits each task the
+  moment its last dependency resolves, and results are consumed as they
+  complete, so a slow task delays only its own descendants — independent
+  chains pipeline straight through (the old implementation barriered the
+  DAG into waves, letting one slow Hoeffding task stall every downstream
+  row).  Results are a pure function of each task, so scheduler choice and
+  completion order never change the output;
+* **caching** — before a ready task is submitted it is looked up in the
+  optional on-disk :class:`~repro.engine.cache.ResultCache` by its content
+  hash; fresh ``ok`` results are stored back, and a cache hit resolves its
+  dependents immediately without touching the pool.
 
 In-process synthesizers can themselves emit subtasks via
-:meth:`AnalysisEngine.map_subtasks` — that is how the Ser ternary search
-solves the independent eps-probe LPs of one bracket step concurrently.
+:meth:`AnalysisEngine.submit_subtasks` (futures) or
+:meth:`AnalysisEngine.map_subtasks` (barrier) — that is how the Ser ternary
+search solves the independent eps-probe LPs of one bracket step
+concurrently.
+
+Infrastructure failures are kept distinct from synthesis failures: a task
+whose algorithm raises becomes a ``status="error"`` result (failures are
+data — tables record them per row), but a worker *process* dying mid-task
+(segfault, OOM kill) raises :class:`~repro.errors.TaskError` — silently
+recording an infrastructure casualty as a row error would misreport the
+experiment.  A ``KeyboardInterrupt`` during dispatch cancels everything
+still queued and shuts the pool down before propagating.
 """
 
 from __future__ import annotations
 
 import importlib
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.errors import EngineError
+from repro.errors import EngineError, TaskError
 from repro.engine.cache import ResultCache
 from repro.engine.scheduler import SerialScheduler, make_scheduler
 from repro.engine.task import AnalysisTask, CertificateResult
@@ -67,10 +85,17 @@ def execute_task(
     deps: Optional[Mapping[str, CertificateResult]] = None,
     engine: Optional["AnalysisEngine"] = None,
 ) -> CertificateResult:
-    """Run one task; never raises — failures become ``status="error"``."""
+    """Run one task; *synthesis* failures become ``status="error"`` results.
+
+    Infrastructure failures (:class:`TaskError`, e.g. a probe worker pool
+    breaking under an in-process synthesis) still propagate — recording
+    one as a row error would misreport the experiment.
+    """
     try:
         fn = _resolve(task.algorithm)
         result = fn(task, deps=dict(deps or {}), engine=engine)
+    except TaskError:
+        raise
     except Exception as exc:  # failures are data: tables record them per row
         return CertificateResult.failure(task, exc)
     result.task_key = task.cache_key
@@ -99,6 +124,41 @@ def engine_scope(engine=None, jobs: int = 1, cache: Optional[ResultCache] = None
         owned.close()
 
 
+def _validate_graph(tasks: Sequence[AnalysisTask]):
+    """Reject duplicate ids, unknown dependencies and cycles up front, so a
+    malformed graph fails before any work is scheduled; returns the
+    ``(indegree, children)`` maps for the run loop to consume."""
+    ids = [t.task_id for t in tasks]
+    if len(set(ids)) != len(ids):
+        dupes = sorted({i for i in ids if ids.count(i) > 1})
+        raise EngineError(f"duplicate task ids: {dupes}")
+    known = set(ids)
+    for t in tasks:
+        missing = [d for d in t.depends_on if d not in known]
+        if missing:
+            raise EngineError(f"task {t.task_id!r} depends on unknown {missing}")
+    indegree = {t.task_id: len(set(t.depends_on)) for t in tasks}
+    children: Dict[str, List[str]] = {t.task_id: [] for t in tasks}
+    for t in tasks:
+        for d in set(t.depends_on):
+            children[d].append(t.task_id)
+    # Kahn's algorithm on a scratch copy: cheap, and leaves the real run
+    # loop free to assume acyclicity
+    scratch = dict(indegree)
+    queue = deque(i for i in ids if scratch[i] == 0)
+    seen = 0
+    while queue:
+        seen += 1
+        for child in children[queue.popleft()]:
+            scratch[child] -= 1
+            if scratch[child] == 0:
+                queue.append(child)
+    if seen != len(tasks):
+        stuck = sorted(i for i in ids if scratch[i] > 0)
+        raise EngineError(f"dependency cycle among {stuck}")
+    return indegree, children
+
+
 class AnalysisEngine:
     """Executes :class:`AnalysisTask` DAGs; see the module docstring."""
 
@@ -112,45 +172,89 @@ class AnalysisEngine:
 
     # -- DAG execution -------------------------------------------------------------
     def run(self, tasks: Sequence[AnalysisTask]) -> Dict[str, CertificateResult]:
-        """Execute a task DAG; returns ``task_id -> result``.
+        """Execute a task DAG with completion-driven dispatch; returns
+        ``task_id -> result``.
 
-        Tasks whose dependencies are all resolved form a wave; waves are
-        scheduled in input order, so with a serial scheduler execution order
-        is exactly the (stable) topological order of the input list.
+        The ready-set is seeded with the zero-dependency tasks in input
+        order and every completion decrements its dependents' outstanding
+        counts, submitting each the instant it hits zero.  With a serial
+        scheduler, submission executes inline, so execution order is the
+        stable topological order of the input list — and because every
+        task is a pure function of (task, deps), pooled completion order
+        cannot change any result either.
         """
         tasks = list(tasks)
-        ids = [t.task_id for t in tasks]
-        if len(set(ids)) != len(ids):
-            dupes = sorted({i for i in ids if ids.count(i) > 1})
-            raise EngineError(f"duplicate task ids: {dupes}")
-        known = set(ids)
-        for t in tasks:
-            missing = [d for d in t.depends_on if d not in known]
-            if missing:
-                raise EngineError(f"task {t.task_id!r} depends on unknown {missing}")
+        indegree, children = _validate_graph(tasks)
+        by_id = {t.task_id: t for t in tasks}
         results: Dict[str, CertificateResult] = {}
-        pending = list(tasks)
-        while pending:
-            ready = [t for t in pending if all(d in results for d in t.depends_on)]
-            if not ready:
-                raise EngineError(
-                    f"dependency cycle among {[t.task_id for t in pending]}"
-                )
-            pending = [t for t in pending if t not in ready]
-            to_run: List[AnalysisTask] = []
-            for t in ready:
-                cached = self._lookup(t)
-                if cached is not None:
-                    results[t.task_id] = cached
-                else:
-                    to_run.append(t)
-            payloads = [
-                (t, {d: results[d] for d in t.depends_on}) for t in to_run
-            ]
-            outs = self.scheduler.map(_pool_execute, payloads)
-            for t, out in zip(to_run, outs):
-                results[t.task_id] = out
-                self._store(t, out)
+        ready = deque(t for t in tasks if indegree[t.task_id] == 0)
+        inflight: Dict["object", AnalysisTask] = {}  # future -> task
+        submit_seq: Dict["object", int] = {}  # future -> submission index
+        seq = 0
+
+        def settle(task: AnalysisTask, result: CertificateResult) -> None:
+            results[task.task_id] = result
+            self._store(task, result)
+            for child in children[task.task_id]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    ready.append(by_id[child])
+
+        try:
+            while ready or inflight:
+                while ready:
+                    task = ready.popleft()
+                    cached = self._lookup(task)
+                    if cached is not None:
+                        settle(task, cached)  # may extend `ready`
+                        continue
+                    deps = {d: results[d] for d in task.depends_on}
+                    try:
+                        future = self.scheduler.submit(
+                            _pool_execute, (task, deps), width_hint=len(ready) + 1
+                        )
+                    except BrokenProcessPool as exc:
+                        # the pool can break synchronously too (a worker was
+                        # killed while we were submitting a burst)
+                        raise TaskError(
+                            f"worker process died while submitting task "
+                            f"{task.task_id!r} ({task.algorithm}); results so "
+                            f"far are intact but the pool is gone"
+                        ) from exc
+                    inflight[future] = task
+                    submit_seq[future] = seq
+                    seq += 1
+                if not inflight:
+                    break
+                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                # settle in submission order — not required for correctness
+                # (results are pure), but it keeps side effects like cache
+                # stores reproducible run to run
+                for future in sorted(done, key=submit_seq.get):
+                    task = inflight.pop(future)
+                    submit_seq.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool as exc:
+                        raise TaskError(
+                            f"worker process died while running task "
+                            f"{task.task_id!r} ({task.algorithm}); results so "
+                            f"far are intact but the pool is gone"
+                        ) from exc
+                    settle(task, outcome)
+        except KeyboardInterrupt:
+            # Ctrl-C mid-dispatch: drop everything still queued and take the
+            # pool down with us — forcefully, because a graceful close would
+            # join whatever multi-minute solves are mid-flight and make the
+            # interrupt appear to hang
+            for future in inflight:
+                future.cancel()
+            getattr(self.scheduler, "terminate", self.scheduler.close)()
+            raise
+        except BaseException:
+            for future in inflight:
+                future.cancel()
+            raise
         return results
 
     def map(self, tasks: Sequence[AnalysisTask]) -> List[CertificateResult]:
@@ -172,10 +276,21 @@ class AnalysisEngine:
         self._store(task, result)
         return result
 
+    def submit_subtasks(self, tasks: Sequence[AnalysisTask]) -> List["object"]:
+        """Stream fine-grained subtasks through the scheduler as futures —
+        no cache lookups, no DAG bookkeeping (subtasks are leaves).  The
+        caller collects each future's result as it needs it, so probe
+        rounds share the executor with whatever else is in flight instead
+        of barriering it."""
+        tasks = list(tasks)
+        return [
+            self.scheduler.submit(_pool_execute, (t, {}), width_hint=len(tasks))
+            for t in tasks
+        ]
+
     def map_subtasks(self, tasks: Sequence[AnalysisTask]) -> List[CertificateResult]:
-        """Fan fine-grained subtasks straight through the scheduler —
-        no cache lookups, no DAG bookkeeping (subtasks are leaves)."""
-        return self.scheduler.map(_pool_execute, [(t, {}) for t in tasks])
+        """Barrier convenience over :meth:`submit_subtasks`."""
+        return [future.result() for future in self.submit_subtasks(tasks)]
 
     @property
     def parallel(self) -> bool:
@@ -192,6 +307,7 @@ class AnalysisEngine:
         if (
             self.cache is not None
             and task.cacheable
+            and not result.cached  # a replayed hit must not count as a store
             and result.ok
             and result.cache_ok
         ):
@@ -199,6 +315,8 @@ class AnalysisEngine:
 
     def close(self) -> None:
         self.scheduler.close()
+        if self.cache is not None:
+            self.cache.gc_if_configured()
 
     def __enter__(self):
         return self

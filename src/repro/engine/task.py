@@ -153,7 +153,9 @@ class AnalysisTask:
             program=program,
             params=_params_tuple(params or {}),
             task_id=task_id,
-            depends_on=depends_on,
+            # dedupe, order-preserving: the engine's ready-set counts one
+            # outstanding slot per distinct dependency
+            depends_on=tuple(dict.fromkeys(depends_on)),
             cacheable=cacheable,
         )
 

@@ -1,0 +1,476 @@
+"""A persistent worker service: warm processes shared across CLI invocations.
+
+:class:`PersistentPoolScheduler` keeps a pool warm *within* one process;
+this module keeps one warm *between* processes.  ``repro workers start``
+daemonizes a small service that owns a ``ProcessPoolExecutor`` and listens
+on a Unix-domain socket (``multiprocessing.connection``, so payloads are
+ordinary pickles); every later CLI invocation that passes ``--workers``
+routes its engine tasks through :class:`ServiceScheduler` instead of
+forking a fresh pool — back-to-back table sweeps stop paying pool startup
+and per-worker import time.
+
+The service is deliberately small and self-limiting:
+
+* one request per connection-thread at a time; the client opens one
+  connection per in-flight task, so concurrency is bounded by the engine's
+  ready-set width;
+* an **idle timeout** (default 300 s) shuts the daemon down after a quiet
+  period, so a forgotten ``workers start`` cannot squat on the machine;
+* state lives in one directory (socket, pidfile, metadata, log) with mode
+  ``0700`` — the socket is reachable only by the owning user, which is the
+  whole authentication story, exactly like ssh-agent's.
+
+Protocol (client -> server): ``("ping",)`` -> status dict;
+``("run", fn, item)`` -> ``("ok", result)`` | ``("error", repr)``;
+``("stop",)`` -> ``("ok", "stopping")`` and the service exits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing.connection import Client, Listener
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.errors import TaskError
+from repro.engine.scheduler import resolve_jobs
+
+__all__ = [
+    "DEFAULT_WORKERS_DIR",
+    "DEFAULT_IDLE_TIMEOUT",
+    "ServiceScheduler",
+    "WorkerService",
+    "service_status",
+    "start_service",
+    "stop_service",
+]
+
+DEFAULT_WORKERS_DIR = ".repro_workers"
+DEFAULT_IDLE_TIMEOUT = 300.0
+
+_SOCKET = "service.sock"
+_PIDFILE = "service.pid"
+_META = "service.json"
+_LOG = "service.log"
+
+
+def _paths(directory) -> Dict[str, Path]:
+    base = Path(directory)
+    return {
+        "dir": base,
+        "socket": base / _SOCKET,
+        "pid": base / _PIDFILE,
+        "meta": base / _META,
+        "log": base / _LOG,
+    }
+
+
+class WorkerService:
+    """The daemon side: a warm executor behind a Unix socket."""
+
+    def __init__(
+        self,
+        directory=DEFAULT_WORKERS_DIR,
+        jobs: int = 0,
+        idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+    ):
+        self.paths = _paths(directory)
+        self.jobs = resolve_jobs(jobs)
+        self.idle_timeout = float(idle_timeout)
+        self.started = time.time()
+        self.tasks_served = 0
+        self._inflight = 0
+        self._lock = threading.Lock()
+        self._last_activity = time.monotonic()
+        self._stop = threading.Event()
+        self._listener: Optional[Listener] = None
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # -- lifecycle --------------------------------------------------------------
+    def serve(self) -> int:
+        """Run the accept loop until stopped or idle-timed-out (foreground)."""
+        base = self.paths["dir"]
+        base.mkdir(parents=True, exist_ok=True)
+        os.chmod(base, 0o700)
+        socket_path = self.paths["socket"]
+        if socket_path.exists():
+            # a live service must not be hijacked (two racing `workers
+            # start` both get past the client-side liveness check); only a
+            # stale socket from a dead service is swept
+            if _request(base, ("ping",)) is not None:
+                raise TaskError(
+                    f"a worker service is already listening in {str(base)!r}"
+                )
+            socket_path.unlink()
+        self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        self._listener = Listener(str(socket_path), family="AF_UNIX")
+        self.paths["pid"].write_text(f"{os.getpid()}\n")
+        self.paths["meta"].write_text(
+            json.dumps(
+                {
+                    "pid": os.getpid(),
+                    "jobs": self.jobs,
+                    "idle_timeout": self.idle_timeout,
+                    "started": self.started,
+                }
+            )
+            + "\n"
+        )
+        try:  # SIGTERM (repro workers stop's fallback) exits cleanly too
+            signal.signal(signal.SIGTERM, lambda *_: self._request_stop())
+        except ValueError:  # not the main thread (embedded/foreground use)
+            pass
+        watchdog = threading.Thread(target=self._watchdog, daemon=True)
+        watchdog.start()
+        try:
+            while True:
+                try:
+                    conn = self._listener.accept()
+                except OSError:  # listener torn down
+                    break
+                if self._stop.is_set():
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                    break
+                threading.Thread(
+                    target=self._serve_connection, args=(conn,), daemon=True
+                ).start()
+        finally:
+            self.shutdown()
+        return 0
+
+    def _request_stop(self) -> None:
+        """Flag shutdown and wake the accept loop.
+
+        Closing the listening socket from another thread does NOT unblock
+        an ``accept()`` already parked in the kernel (this is how early
+        versions leaked daemons), so we wake it with a throwaway
+        self-connection instead and let the loop observe ``_stop``.
+        """
+        self._stop.set()
+        try:
+            with Client(str(self.paths["socket"]), family="AF_UNIX"):
+                pass
+        except OSError:
+            pass
+
+    def shutdown(self) -> None:
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        # only reap state files this process owns — a daemon that lost a
+        # start race must not delete the winner's socket on its way out
+        if _read_pid(self.paths) in (os.getpid(), None):
+            for name in ("socket", "pid", "meta"):
+                try:
+                    self.paths[name].unlink()
+                except OSError:
+                    pass
+
+    def _watchdog(self) -> None:
+        if self.idle_timeout <= 0:
+            return  # never time out — no point polling
+        while not self._stop.wait(min(1.0, max(0.05, self.idle_timeout / 10))):
+            with self._lock:
+                busy = self._inflight > 0
+            if not busy and time.monotonic() - self._last_activity > self.idle_timeout:
+                self._request_stop()
+                return
+
+    def _touch(self) -> None:
+        # only task traffic counts as activity: a status ping must not keep
+        # an otherwise idle daemon alive forever
+        self._last_activity = time.monotonic()
+
+    # -- request handling -------------------------------------------------------
+    def _serve_connection(self, conn) -> None:
+        try:
+            while not self._stop.is_set():
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    return
+                except Exception:
+                    # an unpicklable request (client/daemon version skew is
+                    # the usual cause): report it instead of dying silently
+                    traceback.print_exc()
+                    self._send_safe(conn, ("error", "daemon could not unpickle "
+                                           "the request (client/daemon version "
+                                           "skew? restart the service)"))
+                    return
+                kind = message[0]
+                if kind == "ping":
+                    self._send_safe(conn, self._status())
+                elif kind == "stop":
+                    self._send_safe(conn, ("ok", "stopping"))
+                    self._request_stop()
+                    return
+                elif kind == "run":
+                    self._touch()
+                    self._send_safe(conn, self._run(message[1], message[2]))
+                    self._touch()
+                else:
+                    self._send_safe(conn, ("error", f"unknown request {kind!r}"))
+        except Exception:  # keep the daemon alive; log for service.log
+            traceback.print_exc()
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _send_safe(conn, payload) -> None:
+        """Reply, degrading an unpicklable payload to a picklable error."""
+        try:
+            conn.send(payload)
+        except (OSError, EOFError):
+            pass  # client went away; nothing to tell it
+        except Exception:
+            traceback.print_exc()
+            try:
+                conn.send(("error", "daemon could not pickle the reply"))
+            except Exception:
+                pass
+
+    def _run(self, fn, item):
+        with self._lock:
+            self._inflight += 1
+        executor = self._executor  # snapshot: shutdown() may null it mid-race
+        try:
+            if executor is None or self._stop.is_set():
+                return ("error", "service is stopping; resubmit after restart")
+            future = executor.submit(fn, item)
+            return ("ok", future.result())
+        except BrokenProcessPool as exc:
+            # the pool is unrecoverable: report, then die so the next
+            # `workers start` begins from a healthy state
+            self._request_stop()
+            return ("broken", repr(exc))
+        except Exception as exc:
+            return ("error", repr(exc))
+        finally:
+            with self._lock:
+                self._inflight -= 1
+                self.tasks_served += 1
+
+    def _status(self) -> Dict[str, Any]:
+        with self._lock:
+            inflight = self._inflight
+        return {
+            "pid": os.getpid(),
+            "jobs": self.jobs,
+            "idle_timeout": self.idle_timeout,
+            "uptime_seconds": time.time() - self.started,
+            "tasks_served": self.tasks_served,
+            "inflight": inflight,
+        }
+
+
+# -- client side ------------------------------------------------------------------
+
+
+def _request(directory, message, timeout: float = 5.0):
+    """One round-trip to the service; ``None`` when nothing is listening."""
+    socket_path = _paths(directory)["socket"]
+    if not socket_path.exists():
+        return None
+    try:
+        with Client(str(socket_path), family="AF_UNIX") as conn:
+            conn.send(message)
+            if not conn.poll(timeout):
+                return None
+            return conn.recv()
+    except (OSError, EOFError):
+        return None
+
+
+def service_status(directory=DEFAULT_WORKERS_DIR) -> Optional[Dict[str, Any]]:
+    """Status dict of the service at ``directory``, or ``None`` if down."""
+    status = _request(directory, ("ping",))
+    return status if isinstance(status, dict) else None
+
+
+def stop_service(directory=DEFAULT_WORKERS_DIR, wait_seconds: float = 5.0) -> bool:
+    """Ask the service to exit; returns True when it was running."""
+    paths = _paths(directory)
+    reply = _request(directory, ("stop",))
+    deadline = time.monotonic() + wait_seconds
+    while paths["socket"].exists() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    # belt and braces: a wedged service gets a signal, stale files get swept
+    pid = _read_pid(paths)
+    if pid is not None and paths["socket"].exists():
+        try:
+            os.kill(pid, signal.SIGTERM)
+        except (OSError, ProcessLookupError):
+            pass
+    for name in ("socket", "pid", "meta"):
+        try:
+            paths[name].unlink()
+        except OSError:
+            pass
+    return reply is not None
+
+
+def _read_pid(paths) -> Optional[int]:
+    try:
+        return int(paths["pid"].read_text().strip())
+    except (OSError, ValueError):
+        return None
+
+
+def start_service(
+    directory=DEFAULT_WORKERS_DIR,
+    jobs: int = 0,
+    idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+    foreground: bool = False,
+    wait_seconds: float = 10.0,
+) -> Dict[str, Any]:
+    """Start the service; returns the running service's status dict.
+
+    Starting twice is a no-op that returns the live service's status.  The
+    daemon is a *fresh interpreter* (a detached ``python -m repro workers
+    start --foreground`` in its own session), not a fork of the caller —
+    forking a long-lived server out of an arbitrary multi-threaded parent
+    (pytest, a notebook) inherits lock state no daemon should carry.
+    """
+    import subprocess
+    import sys
+
+    existing = service_status(directory)
+    if existing is not None:
+        # idempotent, but the caller asked for a configuration the live
+        # service may not have — flag it so the CLI can say so
+        existing["already_running"] = True
+        return existing
+    if foreground:
+        WorkerService(directory, jobs=jobs, idle_timeout=idle_timeout).serve()
+        return {"pid": os.getpid(), "jobs": resolve_jobs(jobs), "exited": True}
+    paths = _paths(directory)
+    paths["dir"].mkdir(parents=True, exist_ok=True)
+    os.chmod(paths["dir"], 0o700)
+    package_root = str(Path(__file__).resolve().parents[2])  # .../src
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [package_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "workers",
+        "start",
+        "--foreground",
+        "--dir",
+        str(directory),
+        "--jobs",
+        str(jobs),
+        "--idle-timeout",
+        str(idle_timeout),
+    ]
+    with open(paths["log"], "ab") as log:
+        subprocess.Popen(
+            command,
+            stdout=log,
+            stderr=log,
+            stdin=subprocess.DEVNULL,
+            start_new_session=True,  # detach: survives the caller, owns no tty
+            env=env,
+        )
+    deadline = time.monotonic() + wait_seconds
+    while time.monotonic() < deadline:
+        status = service_status(directory)
+        if status is not None:
+            return status
+        time.sleep(0.05)
+    raise TaskError(
+        f"worker service did not come up within {wait_seconds:.0f}s "
+        f"(see {paths['log']})"
+    )
+
+
+class ServiceScheduler:
+    """Scheduler backed by the daemonized worker service.
+
+    Each submitted task rides its own connection on a small client thread,
+    so in-flight tasks stream through the daemon's executor exactly like
+    local futures — the engine's completion loop cannot tell the
+    difference.  ``close()`` leaves the daemon warm for the next CLI
+    invocation; that is the point.
+    """
+
+    def __init__(self, directory=DEFAULT_WORKERS_DIR):
+        self.directory = directory
+        status = service_status(directory)
+        if status is None:
+            raise TaskError(
+                f"no worker service is listening in {str(directory)!r}; "
+                f"start one with `repro workers start`"
+            )
+        self.workers = int(status["jobs"])
+
+    def _roundtrip(self, fn, item, future: Future) -> None:
+        try:
+            reply = _request(self.directory, ("run", fn, item), timeout=None)
+        except BaseException as exc:
+            # never let this thread die with the future pending — the
+            # engine's completion wait() has no timeout and would hang
+            if future.set_running_or_notify_cancel():
+                future.set_exception(exc)
+            return
+        if not future.set_running_or_notify_cancel():
+            return
+        if reply is None:
+            future.set_exception(
+                TaskError(
+                    f"worker service in {str(self.directory)!r} went away "
+                    f"mid-task"
+                )
+            )
+        elif reply[0] == "ok":
+            future.set_result(reply[1])
+        elif reply[0] == "broken":
+            future.set_exception(
+                TaskError(f"worker service pool broke mid-task: {reply[1]}")
+            )
+        else:
+            future.set_exception(TaskError(f"worker service error: {reply[1]}"))
+
+    def submit(self, fn, item, width_hint: int = 1) -> Future:
+        future: Future = Future()
+        threading.Thread(
+            target=self._roundtrip, args=(fn, item, future), daemon=True
+        ).start()
+        return future
+
+    def map(self, fn, items) -> List:
+        return [f.result() for f in [self.submit(fn, item) for item in items]]
+
+    def close(self) -> None:  # the daemon outlives us by design
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ServiceScheduler({str(self.directory)!r}, workers={self.workers})"

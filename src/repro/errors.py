@@ -59,3 +59,9 @@ class VerificationError(ReproError):
 class EngineError(ReproError):
     """The analysis engine was given an invalid task graph (unknown
     algorithm, duplicate task ids, dependency cycle, missing dependency)."""
+
+
+class TaskError(EngineError):
+    """A task could not be executed for infrastructure reasons — a worker
+    process died mid-task, or the worker service vanished.  Distinct from a
+    synthesis failure, which is recorded as a ``status="error"`` result."""

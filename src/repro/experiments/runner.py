@@ -11,11 +11,15 @@ Usage (installed package)::
 ``Concentration``, ``StoInv``).  ``--jobs N`` fans the independent engine
 tasks of *every* target — Table 1 triples, Table 2 rows, the symbolic
 appendix — out over a process pool (``0`` = one worker per CPU, clamped to
-the number of runnable tasks); ``--cache [DIR]`` replays identical tasks
-from an on-disk result cache across targets and runs.  Results print next
-to the paper-reported numbers; absolute agreement is not expected (our
-substrate is a from-scratch Python stack), but orderings and magnitudes
-should match — see ``EXPERIMENTS.md``.
+the number of runnable tasks); dispatch is completion-driven, so a slow
+Hoeffding task delays only its own row's downstream tasks, never the
+whole table.  ``--workers [DIR]`` routes tasks to the persistent worker
+service (``repro workers start``) so back-to-back invocations skip pool
+startup; ``--cache [DIR]`` replays identical tasks from an on-disk result
+cache across targets and runs.  Results print next to the paper-reported
+numbers; absolute agreement is not expected (our substrate is a
+from-scratch Python stack), but orderings and magnitudes should match —
+see ``EXPERIMENTS.md``.
 """
 
 from __future__ import annotations
@@ -54,32 +58,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--no-baseline", action="store_true", help="skip previous-work baselines"
     )
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="run engine tasks (synthesis runs, baselines) on a pool of N "
-        "worker processes; 0 = one worker per CPU, clamped to the number "
-        "of runnable tasks",
-    )
-    from repro.engine.cache import DEFAULT_CACHE_DIR
+    from repro.engine.args import add_engine_args, engine_from_args
 
-    parser.add_argument(
-        "--cache",
-        nargs="?",
-        const=DEFAULT_CACHE_DIR,
-        default=None,
-        metavar="DIR",
-        help="replay identical tasks from an on-disk result cache "
-        f"(default DIR: {DEFAULT_CACHE_DIR})",
+    add_engine_args(
+        parser,
+        jobs_help="run engine tasks (synthesis runs, baselines) on up to N "
+        "worker processes; 0 = one worker per CPU",
     )
     args = parser.parse_args(argv)
 
-    from repro.engine import AnalysisEngine, ResultCache, make_scheduler
+    from repro.errors import ReproError
 
-    cache = ResultCache(args.cache) if args.cache else None
-    engine = AnalysisEngine(scheduler=make_scheduler(args.jobs), cache=cache)
+    try:
+        engine = engine_from_args(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    cache = engine.cache
 
     start = time.perf_counter()
     try:

@@ -16,24 +16,25 @@ Each row decomposes into an analysis-engine task triple — ``hoeffding``,
 row-wise completeness guarantee sec5.2 <= sec5.1) and ``table1_baseline`` —
 so ``--jobs N`` fans out up to 3x27 tasks instead of 27 rows, and a shared
 result cache serves identical tasks (e.g. the symbolic appendix tables)
-without re-solving.
+without re-solving.  Dispatch is completion-driven: each ``explinsyn``
+task starts the moment *its own* ``hoeffding`` producer finishes, so one
+slow row (3DWalk's Hoeffding search, typically) no longer holds back
+every other row's second stage the way the old wave barrier did.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import (
     azuma_baseline,
     cfnh18_best_bound,
-    cfnh18_concentration_bound,
     cs13_deviation_bound,
     exp_lin_syn,
     hoeffding_synthesis,
-    synthesize_bounded_rsm,
 )
 from repro.errors import SynthesisError
 from repro.programs import BenchmarkInstance, get_benchmark

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import exp_low_syn
 from repro.programs import get_benchmark
-from repro.experiments.reference import TABLE2, PaperRow, ln_to_log10, log10_to_ln
+from repro.experiments.reference import TABLE2, PaperRow
 
 __all__ = ["Table2Row", "TABLE2_SPECS", "run_row2", "run_table2", "format_table2"]
 

@@ -30,7 +30,6 @@ atoms are strict; polyhedra are closed, so a strict atom ``e < 0`` becomes
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from fractions import Fraction
 from itertools import count
 from typing import Dict, List, Optional, Sequence, Tuple
 

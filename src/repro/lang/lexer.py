@@ -9,7 +9,7 @@ separated by ``;`` on one line.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import List
 
 from repro.errors import ParseError
 

@@ -21,10 +21,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
-from scipy.optimize import NonlinearConstraint, LinearConstraint, minimize
+from scipy.optimize import NonlinearConstraint, minimize
 
 from repro.errors import SolverError
 from repro.polyhedra.linexpr import LinExpr

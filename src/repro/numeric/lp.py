@@ -18,8 +18,7 @@ keeps pace with the HiGHS solve even on the large Farkas/Handelman systems
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np

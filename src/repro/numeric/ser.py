@@ -9,11 +9,14 @@ ternary search over ``eps``, each step solving one LP.
 
 The probes of one bracket step are *independent* LPs (the two interior
 points ``m1``/``m2``, and the three opening probes ``lo``/``hi``/``mid``),
-so the search accepts an optional ``evaluate_batch`` callback that solves a
-list of eps values at once — the analysis engine routes it to a process
-pool.  Because every probe is a pure function of ``eps`` and the batch form
-evaluates exactly the points the serial loop would, the returned bracket
-and bound are bit-identical regardless of backend.
+so the search accepts an optional ``evaluate_submit`` callback: submit the
+probes and return one *future* per point, and the search streams them
+through whatever executor the caller shares (the analysis engine's
+completion-driven ready-set), so a probe round rides alongside other
+in-flight tasks instead of barriering the pool the way a blocking batch
+map would.  Because every probe is a pure function of ``eps`` and the
+submitted rounds evaluate exactly the points the serial loop would, the
+returned bracket and bound are bit-identical regardless of backend.
 """
 
 from __future__ import annotations
@@ -47,9 +50,7 @@ def ternary_search(
     hi: float,
     tol: float = 1e-6,
     max_iters: int = 120,
-    evaluate_batch: Optional[
-        Callable[[Sequence[float]], List[Tuple[float, Payload]]]
-    ] = None,
+    evaluate_submit: Optional[Callable[[Sequence[float]], List]] = None,
 ) -> SerResult:
     """Minimize a unimodal ``f`` over ``[lo, hi]``.
 
@@ -58,9 +59,10 @@ def ternary_search(
     useful answer survives even if unimodality is broken by LP tolerance)
     and stops when the bracket is narrower than ``tol`` (absolute).
 
-    ``evaluate_batch``, when given, is used for the multi-point rounds and
-    must return one ``(value, payload)`` per input point, in order; single
-    leftover points still go through ``f``.
+    ``evaluate_submit``, when given, is used for the multi-point rounds: it
+    must return one future-like handle (``.result() -> (value, payload)``)
+    per input point, in order, and the round's outcomes are collected as
+    the handles resolve.  Single leftover points still go through ``f``.
     """
     cache: Dict[float, Tuple[float, Payload]] = {}
 
@@ -72,15 +74,18 @@ def ternary_search(
                 seen.add(x)
         if not missing:
             return
-        if evaluate_batch is not None and len(missing) > 1:
-            outcomes = evaluate_batch(missing)
-            if len(outcomes) != len(missing):
+        if evaluate_submit is not None and len(missing) > 1:
+            handles = evaluate_submit(missing)
+            if len(handles) != len(missing):
                 raise ValueError(
-                    f"evaluate_batch returned {len(outcomes)} results for "
+                    f"evaluate_submit returned {len(handles)} handles for "
                     f"{len(missing)} probes"
                 )
-            for x, outcome in zip(missing, outcomes):
-                cache[x] = outcome
+            # results land keyed by probe point, so collection order is
+            # irrelevant to the bracket — the round is done when the last
+            # handle resolves, not when a barrier map returns
+            for x, handle in zip(missing, handles):
+                cache[x] = handle.result()
         else:
             for x in missing:
                 cache[x] = f(x)

@@ -14,9 +14,9 @@ cone condition (D1) of Proposition 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import count
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence
 
 from repro.errors import ModelError
 from repro.polyhedra.constraints import Polyhedron

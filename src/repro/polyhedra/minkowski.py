@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.polyhedra.constraints import Polyhedron
 from repro.polyhedra.dd import GeneratorSet, polyhedron_generators

@@ -21,7 +21,6 @@ which matches the endpoint Hoeffding bound ``exp(-2 d^2 / (n c^2))`` of
 
 from __future__ import annotations
 
-from fractions import Fraction
 
 from repro.programs.registry import BenchmarkInstance, make_instance, register
 

@@ -9,8 +9,8 @@ documented per family module and in ``EXPERIMENTS.md``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict
 
 from repro.errors import ModelError
 from repro.lang import compile_source

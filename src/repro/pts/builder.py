@@ -31,7 +31,7 @@ Example — the tortoise-hare race of Figure 1::
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
 
 from repro.errors import ModelError
 from repro.polyhedra.constraints import AffineIneq, Polyhedron

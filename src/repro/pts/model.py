@@ -15,11 +15,11 @@ class for which the paper's algorithms are sound/complete.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import ModelError, NotAffineError
+from repro.errors import ModelError
 from repro.polyhedra.constraints import Polyhedron
 from repro.polyhedra.linexpr import LinExpr
 from repro.pts.distributions import Distribution

@@ -13,11 +13,10 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 from repro.errors import ModelError
 from repro.polyhedra.constraints import AffineIneq, Polyhedron
-from repro.polyhedra.linexpr import LinExpr
 from repro.pts.model import PTS
 
 __all__ = ["ValidationReport", "check_exclusivity", "check_completeness", "validate_pts"]

@@ -1,0 +1,152 @@
+"""Size-based GC of the on-disk result cache.
+
+Invariants pinned here:
+
+* eviction is LRU by mtime — oldest entries go first, and a cache *hit*
+  re-touches its entry so hot results outlive cold ones;
+* GC never evicts an entry written during the current run, even when
+  clock skew makes it look ancient;
+* an unconfigured budget (0 / unset) never evicts — the pre-GC behavior;
+* only ``*.pkl`` entries (and orphaned ``*.tmp`` spills) are touched.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.engine import AnalysisEngine, AnalysisTask, ProgramSpec, ResultCache
+from repro.engine.cache import parse_size
+from repro.engine.task import CertificateResult
+
+pytestmark = pytest.mark.smoke
+
+CHAIN_SPEC = ProgramSpec.from_source(
+    "const p = 0.01\ni := 0\nwhile i <= 9:\n    if prob(1 - p):\n"
+    "        i := i + 1\n    else:\n        exit\nassert false",
+    name="gc-chain",
+)
+
+
+def _age(path, seconds):
+    stamp = time.time() - seconds
+    os.utime(path, (stamp, stamp))
+
+
+def _foreign_entry(directory, name, size=100, age=0.0):
+    """An entry written by 'some other run' (not in the session-key set)."""
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.pkl"
+    path.write_bytes(b"x" * size)
+    if age:
+        _age(path, age)
+    return path
+
+
+class TestParseSize:
+    def test_suffixes(self):
+        assert parse_size("500") == 500
+        assert parse_size("64k") == 64 * 1024
+        assert parse_size("128M") == 128 * 1024**2
+        assert parse_size("2g") == 2 * 1024**3
+        assert parse_size("1.5k") == 1536
+
+    def test_rejects_garbage(self):
+        for bad in ("", "fast", "-5", "10q"):
+            with pytest.raises(ValueError):
+                parse_size(bad)
+
+    def test_env_budget_is_read(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "64k")
+        assert ResultCache(tmp_path / "c").max_bytes == 64 * 1024
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES")
+        assert ResultCache(tmp_path / "c").max_bytes == 0
+
+
+class TestGC:
+    def test_evicts_oldest_first_until_budget(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        oldest = _foreign_entry(tmp_path / "c", "k0", size=100, age=300)
+        middle = _foreign_entry(tmp_path / "c", "k1", size=100, age=200)
+        newest = _foreign_entry(tmp_path / "c", "k2", size=100, age=100)
+        report = cache.gc(max_bytes=250)
+        assert report.evicted == 1 and report.freed_bytes == 100
+        assert not oldest.exists() and middle.exists() and newest.exists()
+        assert report.kept == 2 and report.kept_bytes == 200
+        assert cache.evictions == 1
+
+    def test_zero_budget_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")  # no env, no constructor budget
+        entry = _foreign_entry(tmp_path / "c", "k0", age=1000)
+        assert cache.gc().evicted == 0
+        assert cache.gc(max_bytes=0).evicted == 0
+        assert entry.exists()
+
+    def test_never_evicts_entries_written_this_run(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("fresh", CertificateResult(algorithm="x", status="ok"))
+        fresh = cache._path("fresh")
+        # make the session entry look ancient: clock skew or a bulk import
+        # must not be able to break the do-not-evict promise
+        _age(fresh, 10_000)
+        foreign = _foreign_entry(tmp_path / "c", "old", size=fresh.stat().st_size)
+        report = cache.gc(max_bytes=1)
+        assert fresh.exists() and not foreign.exists()
+        assert report.protected == 1 and report.evicted == 1
+
+    def test_hit_touches_mtime_for_lru(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("hot", CertificateResult(algorithm="x", status="ok"))
+        path = cache._path("hot")
+        _age(path, 5000)
+        before = path.stat().st_mtime
+        assert cache.get("hot") is not None
+        assert path.stat().st_mtime > before
+
+    def test_non_entry_files_are_left_alone(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        _foreign_entry(tmp_path / "c", "k0", age=100)
+        keepme = tmp_path / "c" / "README.txt"
+        keepme.write_text("not an entry")
+        _age(keepme, 99_999)
+        cache.gc(max_bytes=1)
+        assert keepme.exists()
+
+    def test_orphaned_tmp_spills_are_swept(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        (tmp_path / "c").mkdir(parents=True, exist_ok=True)
+        stale = tmp_path / "c" / "dead-writer.tmp"
+        stale.write_bytes(b"torn")
+        _age(stale, 7200)
+        young = tmp_path / "c" / "live-writer.tmp"
+        young.write_bytes(b"inflight")
+        cache.gc(max_bytes=10**9)
+        assert not stale.exists() and young.exists()
+
+    def test_stats_snapshot(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", max_bytes=4096)
+        _foreign_entry(tmp_path / "c", "k0", size=120, age=50)
+        _foreign_entry(tmp_path / "c", "k1", size=80)
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.total_bytes == 200
+        assert stats.max_bytes == 4096
+        assert stats.oldest_age_seconds >= 49
+
+
+class TestEngineIntegration:
+    def test_engine_close_collects_when_budget_configured(self, tmp_path):
+        foreign = _foreign_entry(tmp_path / "c", "cold", size=4096, age=5000)
+        cache = ResultCache(tmp_path / "c", max_bytes=1024)
+        with AnalysisEngine(cache=cache) as engine:
+            result = engine.run_inline(AnalysisTask.make("explowsyn", CHAIN_SPEC))
+            assert result.ok
+        # close() ran gc: the foreign cold entry went, this run's stayed
+        assert not foreign.exists()
+        assert cache._path(AnalysisTask.make("explowsyn", CHAIN_SPEC).cache_key).exists()
+
+    def test_engine_close_without_budget_keeps_everything(self, tmp_path):
+        foreign = _foreign_entry(tmp_path / "c", "cold", size=4096, age=5000)
+        with AnalysisEngine(cache=ResultCache(tmp_path / "c")) as engine:
+            engine.run_inline(AnalysisTask.make("explowsyn", CHAIN_SPEC))
+        assert foreign.exists()

@@ -10,8 +10,6 @@ from repro.lang import compile_source
 from repro.polyhedra import Polyhedron
 from repro.core import (
     InvariantMap,
-    LowerBoundCertificate,
-    UpperBoundCertificate,
     exp_lin_syn,
     exp_low_syn,
     generate_interval_invariants,

@@ -1,0 +1,111 @@
+"""Syntax/shape validation of the GitHub Actions workflows.
+
+``act``/``actions/workflow`` are not available in the test container, so
+this is the acceptance gate for ``.github/workflows/*.yml``: every file
+must be parseable YAML with the job structure the repo's CI contract
+promises (tier-1 + smoke + lint on pushes and PRs, the non-blocking bench
+job on schedule/dispatch with the artifact upload and the
+``REPRO_BENCH_GATE_FACTOR`` knob).
+"""
+
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+pytestmark = pytest.mark.smoke
+
+WORKFLOWS = Path(__file__).resolve().parent.parent / ".github" / "workflows"
+
+
+def _load(name):
+    data = yaml.safe_load((WORKFLOWS / name).read_text())
+    assert isinstance(data, dict), f"{name} did not parse to a mapping"
+    # YAML 1.1 parses the bare key `on` as boolean True
+    triggers = data.get("on", data.get(True))
+    assert triggers is not None, f"{name} has no trigger block"
+    return data, triggers
+
+
+def _steps_text(job):
+    return "\n".join(
+        str(step.get("run", "")) + str(step.get("uses", ""))
+        for step in job.get("steps", [])
+    )
+
+
+def test_workflow_files_exist():
+    names = {p.name for p in WORKFLOWS.glob("*.yml")}
+    assert {"ci.yml", "bench.yml"} <= names
+
+
+def test_all_workflows_are_valid_yaml():
+    for path in WORKFLOWS.glob("*.yml"):
+        data, triggers = _load(path.name)
+        assert data.get("jobs"), f"{path.name} defines no jobs"
+        for job_name, job in data["jobs"].items():
+            assert "runs-on" in job, f"{path.name}:{job_name} missing runs-on"
+            assert job.get("steps"), f"{path.name}:{job_name} has no steps"
+
+
+class TestCIWorkflow:
+    def test_triggers_on_push_and_pr(self):
+        _, triggers = _load("ci.yml")
+        assert "push" in triggers and "pull_request" in triggers
+
+    def test_tier1_job_runs_the_roadmap_command_on_the_python_matrix(self):
+        data, _ = _load("ci.yml")
+        tier1 = data["jobs"]["tier1"]
+        versions = tier1["strategy"]["matrix"]["python-version"]
+        assert "3.10" in versions and "3.12" in versions
+        text = _steps_text(tier1)
+        assert "PYTHONPATH=src python -m pytest -x -q" in text
+
+    def test_smoke_job_runs_the_smoke_marker(self):
+        data, _ = _load("ci.yml")
+        assert "pytest -m smoke" in _steps_text(data["jobs"]["smoke"])
+
+    def test_lint_job_runs_ruff(self):
+        data, _ = _load("ci.yml")
+        assert "ruff check" in _steps_text(data["jobs"]["lint"])
+
+    def test_pip_caching_is_enabled(self):
+        data, _ = _load("ci.yml")
+        for job_name, job in data["jobs"].items():
+            setup = [
+                s for s in job["steps"] if "setup-python" in str(s.get("uses", ""))
+            ]
+            assert setup, f"{job_name} does not set up python"
+            assert setup[0].get("with", {}).get("cache") == "pip", (
+                f"{job_name} does not cache pip"
+            )
+
+
+class TestBenchWorkflow:
+    def test_triggers_are_schedule_and_dispatch_only(self):
+        _, triggers = _load("bench.yml")
+        assert "schedule" in triggers and "workflow_dispatch" in triggers
+        assert "push" not in triggers and "pull_request" not in triggers
+
+    def test_bench_step_is_non_blocking_and_respects_gate_factor(self):
+        data, _ = _load("bench.yml")
+        job = data["jobs"]["bench"]
+        bench_steps = [
+            s for s in job["steps"] if "pytest -m bench" in str(s.get("run", ""))
+        ]
+        assert bench_steps, "no bench pytest step"
+        step = bench_steps[0]
+        assert step.get("continue-on-error") is True
+        assert "REPRO_BENCH_GATE_FACTOR" in step.get("env", {})
+
+    def test_artifact_upload_and_summary(self):
+        data, _ = _load("bench.yml")
+        job = data["jobs"]["bench"]
+        text = _steps_text(job)
+        assert "actions/upload-artifact" in text
+        assert "GITHUB_STEP_SUMMARY" in text
+        uploads = [
+            s for s in job["steps"] if "upload-artifact" in str(s.get("uses", ""))
+        ]
+        assert uploads[0]["with"]["path"] == "BENCH_fixpoint.json"

@@ -8,7 +8,6 @@ from repro.errors import CompileError
 from repro.lang import ast, compile_source, split_cells
 from repro.lang.compiler import bool_to_polyhedron
 from repro.lang.parser import parse_program
-from repro.polyhedra.linexpr import var
 from repro.pts import FAIL, TERM, simulate, validate_pts
 
 RACE = """

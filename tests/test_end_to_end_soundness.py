@@ -11,7 +11,6 @@ invariant generation, canonicalization, DD, Farkas, LP, convex solving and
 certificate verification.
 """
 
-import random
 
 import pytest
 from hypothesis import HealthCheck, given, settings

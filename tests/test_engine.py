@@ -14,7 +14,6 @@ The load-bearing properties:
   processes than there are runnable tasks.
 """
 
-import math
 
 import pytest
 
@@ -172,7 +171,9 @@ class TestWorkerClamping:
         scheduler = ProcessPoolScheduler(jobs=5)
         try:
             assert scheduler.map(abs, [-1, 2]) == [1, 2]
-            assert scheduler.resolved_workers == 2
+            # workers fork on demand: a 2-task batch can never have forked
+            # more than 2 processes, however generous --jobs is
+            assert 1 <= scheduler.resolved_workers <= 2
         finally:
             scheduler.close()
 

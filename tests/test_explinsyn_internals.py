@@ -8,7 +8,6 @@ import pytest
 
 from repro.lang import compile_source
 from repro.numeric.convex import ConvexProgram
-from repro.polyhedra.linexpr import LinExpr, var
 from repro.core import exp_lin_syn, generate_interval_invariants
 from repro.core.canonical import canonicalize
 from repro.core.certificates import log_ptf_transition, sample_psi_points

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import InfeasibleError, ModelError
+from repro.errors import ModelError
 from repro.numeric.lp import LinearProgram
 from repro.polyhedra import AffineIneq, FarkasEncoder, Polyhedron, TemplateConstraint
 from repro.polyhedra.linexpr import LinExpr, var

@@ -1,6 +1,5 @@
 """Targeted tests for HoeffdingSynthesis internals (Section 5.1 / App. C.2)."""
 
-import math
 
 import pytest
 

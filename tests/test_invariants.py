@@ -1,6 +1,5 @@
 """Tests for invariant maps and interval abstract interpretation."""
 
-from fractions import Fraction
 
 import pytest
 

@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -11,7 +10,7 @@ from repro.errors import InfeasibleError, SolverError
 from repro.numeric.convex import ConvexProgram
 from repro.numeric.lp import LinearProgram, solve_lp
 from repro.numeric.ser import ternary_search
-from repro.polyhedra.linexpr import LinExpr, var
+from repro.polyhedra.linexpr import var
 from repro.pts.distributions import UniformDistribution
 
 

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.errors import ModelError
 from repro.polyhedra import AffineIneq, Polyhedron
-from repro.polyhedra.linexpr import LinExpr, var
+from repro.polyhedra.linexpr import var
 
 
 class TestAffineIneq:

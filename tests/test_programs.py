@@ -1,6 +1,5 @@
 """Tests for the benchmark registry and program reconstructions."""
 
-import math
 
 import pytest
 

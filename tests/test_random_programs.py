@@ -12,11 +12,9 @@ internal consistency:
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.errors import SynthesisError
 from repro.lang import compile_source, parse_program, pretty
 from repro.pts import simulate, validate_pts
 from repro.core import exp_lin_syn, value_iteration
@@ -101,9 +99,12 @@ def test_random_program_pipeline(seed):
     lo, hi = sim.violation_interval()
     assert lo - 1e-9 <= vpf <= hi + 1e-9, source
 
-    # the complete algorithm upper-bounds the truth
+    # the complete algorithm upper-bounds the truth, up to solver precision:
+    # the convex solve can undershoot a certain violation (vpf = 1) by up to
+    # ~1e-8 (seed 1760 yields bound = 1 - 9.99e-9), so the slack must sit
+    # above solver tolerance, not at the value-iteration tolerance
     cert = exp_lin_syn(pts)
-    assert cert.bound >= vpf - 1e-9, source
+    assert cert.bound >= vpf - 1e-7, source
 
 
 @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])

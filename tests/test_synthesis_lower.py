@@ -6,12 +6,7 @@ import pytest
 
 from repro.errors import SynthesisError
 from repro.lang import compile_source
-from repro.core import (
-    exp_low_syn,
-    generate_interval_invariants,
-    prove_almost_sure_termination,
-    value_iteration,
-)
+from repro.core import exp_low_syn, prove_almost_sure_termination, value_iteration
 
 
 def unreliable_walk(p: str) -> str:

@@ -7,10 +7,9 @@ import pytest
 
 from repro.errors import ModelError
 from repro.lang import compile_source
-from repro.polyhedra.linexpr import var
 from repro.core.canonical import canonicalize
 from repro.core.invariants import InvariantMap, generate_interval_invariants
-from repro.core.templates import ExpStateFunction, ExpTemplate
+from repro.core.templates import ExpTemplate
 
 RACE = """
 x := 40

@@ -6,7 +6,7 @@ import pytest
 
 from repro.lang import compile_source
 from repro.polyhedra import var
-from repro.pts import FAIL, TERM, PTSBuilder, bernoulli, validate_pts
+from repro.pts import FAIL, TERM, PTSBuilder, validate_pts
 
 
 class TestFlatteningPass:

@@ -1,15 +1,12 @@
 """Tests for the zone (DBM) abstract domain."""
 
-import random
 from fractions import Fraction
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.lang import compile_source
 from repro.polyhedra import AffineIneq, var
-from repro.polyhedra.linexpr import LinExpr
 from repro.core.zones import Zone, generate_zone_invariants
 
 
