@@ -26,6 +26,7 @@ from repro.core import fixpoint_reference
 from repro.experiments.fixpoint_bench import (
     FIXPOINT_WORKLOADS,
     best_recorded_sparse_seconds,
+    explore_timings,
 )
 
 #: same location conftest.py flushes the session recorder to
@@ -52,6 +53,9 @@ def test_sparse_engine_vs_reference(name, fixpoint_recorder, benchmark):
     start = time.perf_counter()
     ref = fixpoint_reference.value_iteration(pts, max_states=max_states)
     reference_seconds = time.perf_counter() - start
+
+    # exploration phase alone: the int64 frontier path vs the Fraction BFS
+    explore_fields = explore_timings(pts, max_states)
 
     # the rewrite must not change the semantics: same explored fragment,
     # same truncation, brackets equal to iteration tolerance
@@ -82,6 +86,7 @@ def test_sparse_engine_vs_reference(name, fixpoint_recorder, benchmark):
             "lower": fast.lower,
             "upper": fast.upper,
             "sparse_seconds": round(sparse_seconds, 6),
+            **explore_fields,
             "reference_seconds": round(reference_seconds, 6),
             "speedup": round(reference_seconds / sparse_seconds, 2),
             "bracket_error": max(

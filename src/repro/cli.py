@@ -136,7 +136,12 @@ def _cmd_exact(args) -> int:
     from repro.core import value_iteration
 
     result = _load(args.file, not args.real_valued)
-    bracket = value_iteration(result.pts, max_states=args.max_states)
+    bracket = value_iteration(
+        result.pts,
+        max_states=args.max_states,
+        explore=args.explore,
+        schedule=args.schedule,
+    )
     print(f"explored states : {bracket.states}{' (truncated)' if bracket.truncated else ''}")
     print(f"vpf bracket     : [{bracket.lower:.9g}, {bracket.upper:.9g}]")
     print(f"iterations      : {bracket.iterations}")
@@ -150,7 +155,11 @@ def _cmd_bench(args) -> int:
     from repro.lang import compile_source
     from repro.core.fixpoint import value_iteration
     from repro.core import fixpoint_reference
-    from repro.experiments.fixpoint_bench import FIXPOINT_WORKLOADS, append_bench_run
+    from repro.experiments.fixpoint_bench import (
+        FIXPOINT_WORKLOADS,
+        append_bench_run,
+        explore_timings,
+    )
 
     workloads = dict(FIXPOINT_WORKLOADS)
     for path in args.files:
@@ -160,8 +169,16 @@ def _cmd_bench(args) -> int:
     for name, (source, default_max_states) in workloads.items():
         max_states = args.max_states or default_max_states
         pts = compile_source(source, name=name, integer_mode=not args.real_valued).pts
+
+        # exploration phase alone, so the int64-vs-Fraction BFS win is
+        # visible separately from the value-iteration sweeps; the Fraction
+        # comparison is exactly the slow path --skip-reference opts out of
+        explore_fields = explore_timings(
+            pts, max_states, explore=args.explore, compare=not args.skip_reference
+        )
+
         start = time.perf_counter()
-        fast = value_iteration(pts, max_states=max_states)
+        fast = value_iteration(pts, max_states=max_states, explore=args.explore)
         fast_seconds = time.perf_counter() - start
         entry = {
             "program": name,
@@ -172,6 +189,7 @@ def _cmd_bench(args) -> int:
             "lower": fast.lower,
             "upper": fast.upper,
             "sparse_seconds": round(fast_seconds, 6),
+            **explore_fields,
         }
         if not args.skip_reference:
             start = time.perf_counter()
@@ -183,7 +201,12 @@ def _cmd_bench(args) -> int:
                 abs(fast.lower - ref.lower), abs(fast.upper - ref.upper)
             )
         results.append(entry)
-        line = f"{name:<14} states={entry['states']:>7} sparse={entry['sparse_seconds']:.3f}s"
+        line = (
+            f"{name:<14} states={entry['states']:>7} sparse={entry['sparse_seconds']:.3f}s"
+            f" explore[{entry['explorer']}]={entry['explore_seconds']:.3f}s"
+        )
+        if "explore_speedup" in entry:
+            line += f" ({entry['explore_speedup']:.1f}x vs fraction)"
         if "speedup" in entry:
             line += (
                 f" reference={entry['reference_seconds']:.3f}s"
@@ -401,6 +424,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_exact = sub.add_parser("exact", help="value-iteration bracket")
     common(p_exact)
     p_exact.add_argument("--max-states", type=int, default=200_000)
+    p_exact.add_argument(
+        "--explore",
+        choices=["auto", "int64", "fraction"],
+        default="auto",
+        help="exploration engine: int64 frontier batches on integer-lattice "
+        "programs, exact Fraction interning otherwise (default: auto)",
+    )
+    p_exact.add_argument(
+        "--schedule",
+        choices=["auto", "jacobi", "gauss-seidel"],
+        default="auto",
+        help="CSR sweep schedule above 2048 states: jacobi (default) or "
+        "blocked gauss-seidel (reference schedule, ~half the sweeps)",
+    )
     p_exact.set_defaults(fn=_cmd_exact)
 
     p_bench = sub.add_parser(
@@ -424,6 +461,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip-reference",
         action="store_true",
         help="time only the sparse engine (the reference is slow by design)",
+    )
+    p_bench.add_argument(
+        "--explore",
+        choices=["auto", "int64", "fraction"],
+        default="auto",
+        help="exploration engine to benchmark (default: auto)",
     )
     p_bench.add_argument("--out", default="BENCH_fixpoint.json")
     p_bench.set_defaults(fn=_cmd_bench)

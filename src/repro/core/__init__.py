@@ -1,4 +1,22 @@
-"""Core algorithms of the paper: bound synthesis, fixed points, baselines."""
+"""Core algorithms of the paper: bound synthesis, fixed points, baselines.
+
+This is the algorithm layer (see ``docs/ARCHITECTURE.md``): one module
+per synthesis family — §5.1 Hoeffding/RepRSM (:func:`hoeffding_synthesis`),
+§5.2 ExpLinSyn (:func:`exp_lin_syn`), §6 ExpLowSyn (:func:`exp_low_syn`)
+and polynomial lower bounds — plus invariant generation, termination
+proofs, prior-work baselines, and the ground-truth fixpoint engine
+(:func:`value_iteration` / :func:`exact_vpf`) with its int64
+frontier-batch exploration fast path and pluggable sweep schedules.
+
+Layer contract: ``core`` consumes :class:`~repro.pts.PTS` objects and the
+``repro.numeric`` solver adapters; it never imports from ``repro.engine``
+or ``repro.experiments``.  Each synthesis family additionally exposes the
+engine protocol ``synthesize(task, deps, engine) -> CertificateResult``
+beside its direct API, which is how the analysis engine schedules it.
+Changes to the fixpoint engine must keep the differential suites against
+:mod:`repro.core.fixpoint_reference` green — the frozen reference is the
+semantics; the vectorized engines are implementations of it.
+"""
 
 from repro.core.invariants import InvariantMap, generate_interval_invariants
 from repro.core.zones import Zone, generate_zone_invariants

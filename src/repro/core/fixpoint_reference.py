@@ -6,8 +6,10 @@ breadth-first exploration order, the same overflow pessimization, the same
 (Gauss-Seidel style, in-place) sweep over successor lists.  The sparse
 engine in :mod:`repro.core.fixpoint` must produce brackets that agree with
 this one to within iteration tolerance on every discrete program — the
-equivalence suite (``tests/test_fixpoint_equivalence.py``) enforces that on
-the example programs and on randomized PTSs.
+equivalence suites (``tests/test_fixpoint_equivalence.py`` for the scalar
+Fraction explorer, ``tests/test_fixpoint_int.py`` for the int64
+frontier-batch explorer and the blocked Gauss-Seidel schedule) enforce
+that on the example programs and on randomized PTSs.
 
 Do not optimize this module; its value is being slow and obviously correct.
 """

@@ -8,6 +8,16 @@ of such tasks through a pluggable :class:`Scheduler` (serial or process
 pool) with an optional on-disk :class:`ResultCache`, so parallelism and
 caching compose uniformly across all synthesis families and experiment
 tables instead of being re-plumbed per entry point.
+
+Layer contract (see ``docs/ARCHITECTURE.md``): the engine sits on top of
+``repro.core`` and orchestrates it; algorithms are looked up in
+:data:`ALGORITHMS` and must be pure functions of ``(task, deps)`` so that
+scheduler choice can change wall-clock time but never a certificate —
+serial vs pooled bit-identity is pinned by ``tests/test_engine.py``.
+Cache keys are content-derived (sha256 over algorithm, program spec,
+params, :data:`~repro.engine.task.CACHE_KEY_VERSION` and the fixpoint
+engine fingerprint), so distinct entry points share hits and stale
+artifacts from older engine versions read as misses.
 """
 
 from repro.engine.task import (

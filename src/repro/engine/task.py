@@ -41,8 +41,20 @@ _RESOLVE_MEMO_CAP = 64  # > the 36 specs of a full `runner all` sweep
 
 #: salt folded into every cache key; bump whenever a synthesis algorithm's
 #: *output* changes (bug fix, tightened encoding), so stale on-disk results
-#: from older code read as misses instead of replaying wrong bounds
-CACHE_KEY_VERSION = 1
+#: from older code read as misses instead of replaying wrong bounds.
+#: v2: the fixpoint engine fingerprint joined the payload (int64 frontier
+#: exploration + blocked Gauss-Seidel schedules) — results from the two
+#: exploration paths are bit-identical by construction, but artifacts
+#: produced by different fixpoint engine versions must never alias.
+CACHE_KEY_VERSION = 2
+
+
+def _fixpoint_fingerprint() -> str:
+    """Version stamp of the exploration/sweep machinery (lazy import: the
+    fixpoint module drags scipy in, which light CLI paths don't need)."""
+    from repro.core.fixpoint import FIXPOINT_FINGERPRINT
+
+    return FIXPOINT_FINGERPRINT
 
 
 @dataclass(frozen=True)
@@ -177,6 +189,7 @@ class AnalysisTask:
         """
         payload = {
             "v": CACHE_KEY_VERSION,
+            "fixpoint": _fixpoint_fingerprint(),
             "algorithm": self.algorithm,
             "program": self.program.canonical(),
             "params": [[k, repr(v)] for k, v in self.params],

@@ -17,10 +17,13 @@ __all__ = [
     "FIXPOINT_WORKLOADS",
     "append_bench_run",
     "best_recorded_sparse_seconds",
+    "explore_timings",
 ]
 
 #: name -> (source, default max_states): small / iteration-heavy /
-#: state-heavy, covering both the dense and the CSR engine paths
+#: state-heavy, covering both the dense and the CSR engine paths, plus two
+#: 100k-state all-integer Table 1 shapes where the int64 frontier explorer
+#: shows its headroom over the exact Fraction BFS (see ``PERFORMANCE.md``)
 FIXPOINT_WORKLOADS: Dict[str, Tuple[str, int]] = {
     "gambler": (
         "x := 3\nwhile x >= 1 and x <= 9:\n    switch:\n"
@@ -41,7 +44,57 @@ FIXPOINT_WORKLOADS: Dict[str, Tuple[str, int]] = {
         "assert t <= 60",
         20_000,
     ),
+    # Table 1's asymmetric-walk shape scaled to a 100k-state exploration
+    "asym-walk-100k": (
+        "x := 0\nt := 0\nwhile x <= 60:\n    switch:\n"
+        "        prob(0.75): x, t := x + 1, t + 1\n"
+        "        prob(0.25): x, t := x - 1, t + 1\n"
+        "assert t <= 600",
+        100_000,
+    ),
+    # Table 1's RdAdder (500 fair-coin increments), truncated at 100k states
+    "rdadder-100k": (
+        "i := 0\nx := 0\nwhile i <= 499:\n    if prob(0.5):\n"
+        "        i, x := i + 1, x + 1\n    else:\n        i := i + 1\n"
+        "assert x <= 275",
+        100_000,
+    ),
 }
+
+
+def explore_timings(
+    pts, max_states: int, explore: str = "auto", compare: bool = True
+) -> Dict[str, object]:
+    """Time the exploration phase alone and return its bench-entry fields.
+
+    Shared by the ``repro bench`` CLI and ``benchmarks/bench_fixpoint.py``
+    so both producers emit the same schema: always ``explorer`` and
+    ``explore_seconds``; when the int64 engine ran (and ``compare`` is
+    true), also the exact Fraction-BFS comparison
+    ``explore_fraction_seconds`` and (whenever the timer resolved a
+    nonzero int64 time) ``explore_speedup``.  Keys are *omitted*, never
+    null, when inapplicable.  Pass ``compare=False`` to skip the slow
+    Fraction re-exploration (``repro bench --skip-reference``).
+    """
+    import time
+
+    from repro.core.fixpoint import build_sparse_model
+
+    start = time.perf_counter()
+    model = build_sparse_model(pts, max_states=max_states, explore=explore)
+    explore_seconds = time.perf_counter() - start
+    fields: Dict[str, object] = {
+        "explorer": model.explored_via,
+        "explore_seconds": round(explore_seconds, 6),
+    }
+    if compare and model.explored_via == "int64":
+        start = time.perf_counter()
+        build_sparse_model(pts, max_states=max_states, explore="fraction")
+        fraction_seconds = time.perf_counter() - start
+        fields["explore_fraction_seconds"] = round(fraction_seconds, 6)
+        if explore_seconds > 0:
+            fields["explore_speedup"] = round(fraction_seconds / explore_seconds, 2)
+    return fields
 
 
 def append_bench_run(

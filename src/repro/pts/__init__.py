@@ -1,6 +1,29 @@
-"""Probabilistic transition systems: model, distributions, simulation."""
+"""Probabilistic transition systems: model, distributions, simulation.
 
-from repro.pts.model import TERM, FAIL, AffineUpdate, Fork, Transition, PTS
+This is the modelling layer of the stack (see ``docs/ARCHITECTURE.md``):
+it owns the paper's semantic object — the :class:`PTS` with its guarded
+probabilistic transitions and affine updates — plus the fluent
+:class:`PTSBuilder` DSL, the sampling :class:`Distribution` hierarchy, a
+Monte-Carlo :func:`simulate` loop and structural validation.
+
+Layer contract: ``pts`` depends only on the exact-arithmetic substrate
+(``repro.polyhedra``, ``repro.utils``) and knows nothing about surface
+syntax (``repro.lang`` compiles *into* this layer) or about the synthesis
+algorithms above it.  A :class:`PTS` is immutable after construction;
+derived metadata such as :meth:`PTS.integrality` (the integer-lattice
+classification consumed by the fixpoint engine's int64 exploration fast
+path) is cached on the instance.
+"""
+
+from repro.pts.model import (
+    TERM,
+    FAIL,
+    AffineUpdate,
+    Fork,
+    IntegralityReport,
+    Transition,
+    PTS,
+)
 from repro.pts.distributions import (
     Distribution,
     PointMass,
@@ -29,6 +52,7 @@ __all__ = [
     "Fork",
     "Transition",
     "PTS",
+    "IntegralityReport",
     "Distribution",
     "PointMass",
     "DiscreteDistribution",

@@ -26,6 +26,14 @@ Example — the tortoise-hare race of Figure 1::
         forks=[("__fail__", 1, {})],
     )
     pts = b.build(init_location="head")
+
+Integer-lattice note: keep initial values, guard/update coefficients and
+discrete-distribution atoms integral (ints, or Fractions with denominator
+1) when the model allows it — the built PTS then classifies as
+integer-lattice (:meth:`repro.pts.PTS.integrality`) and ground-truth
+value iteration explores it on the int64 frontier fast path, several
+times faster than the exact Fraction interning BFS.  Fork *probabilities*
+may be arbitrary rationals; they never enter a state vector.
 """
 
 from __future__ import annotations

@@ -25,11 +25,43 @@ from repro.polyhedra.linexpr import LinExpr
 from repro.pts.distributions import Distribution
 from repro.utils.numbers import Number, as_fraction
 
-__all__ = ["TERM", "FAIL", "AffineUpdate", "Fork", "Transition", "PTS"]
+__all__ = [
+    "TERM",
+    "FAIL",
+    "AffineUpdate",
+    "Fork",
+    "Transition",
+    "PTS",
+    "IntegralityReport",
+]
 
 #: canonical names of the two sink locations
 TERM = "__term__"
 FAIL = "__fail__"
+
+
+@dataclass(frozen=True)
+class IntegralityReport:
+    """Whether a PTS lives on the integer lattice, and why not if it doesn't.
+
+    A PTS is *integer-lattice* when every quantity that enters a reachable
+    state is an integer: the initial valuation, every guard coefficient and
+    constant, every update coefficient and constant, and every atom value of
+    every (discrete) sampling distribution.  On such systems the reachable
+    fragment is a subset of ``Z^|V|`` and state exploration can run on
+    machine integers (see the int64 frontier fast path in
+    :mod:`repro.core.fixpoint`) with decisions provably identical to the
+    exact :class:`~fractions.Fraction` semantics.
+
+    Fork *probabilities* are deliberately exempt: they weight transitions
+    but never enter a state vector.
+    """
+
+    integral: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - trivial
+        return self.integral
 
 
 class AffineUpdate:
@@ -186,6 +218,7 @@ class PTS:
             self._by_source.setdefault(t.source, []).append(t)
         self.locations: Tuple[str, ...] = self._collect_locations()
         self._validate()
+        self._integrality: Optional[IntegralityReport] = None
 
     # -- construction-time validation -------------------------------------------
     def _collect_locations(self) -> Tuple[str, ...]:
@@ -267,6 +300,56 @@ class PTS:
     def is_affine(self) -> bool:
         """Affine by construction; kept for interface symmetry."""
         return True
+
+    def integrality(self) -> IntegralityReport:
+        """Classify this PTS as integer-lattice or not (cached).
+
+        The report is the admission check of the int64 exploration fast
+        path: when it is negative, exploration must stay on the exact
+        Fraction representation.  Magnitude limits (values that would
+        overflow ``int64``) are a property of a *run*, not of the system,
+        so they are checked by the explorer itself, not here.
+        """
+        if self._integrality is None:
+            self._integrality = self._analyze_integrality()
+        return self._integrality
+
+    def _analyze_integrality(self) -> IntegralityReport:
+        def fractional(value: Fraction) -> bool:
+            return value.denominator != 1
+
+        for v, value in self.init_valuation.items():
+            if fractional(value):
+                return IntegralityReport(False, f"init {v} = {value} is not integral")
+        for r, dist in self.distributions.items():
+            atoms = dist.atoms()
+            if atoms is None:
+                return IntegralityReport(False, f"sampling variable {r!r} is continuous")
+            for _, value in atoms:
+                if fractional(value):
+                    return IntegralityReport(
+                        False, f"atom {value} of {r!r} is not integral"
+                    )
+        for t in self.transitions:
+            for ineq in t.guard.inequalities:
+                expr = ineq.expr
+                if fractional(expr.const) or any(
+                    fractional(c) for _, c in expr.iter_coeffs()
+                ):
+                    return IntegralityReport(
+                        False,
+                        f"guard of {t.name!r} has non-integral coefficients",
+                    )
+            for f in t.forks:
+                for target, expr in f.update.assignments.items():
+                    if fractional(expr.const) or any(
+                        fractional(c) for _, c in expr.iter_coeffs()
+                    ):
+                        return IntegralityReport(
+                            False,
+                            f"update of {target!r} in {t.name!r} is not integral",
+                        )
+        return IntegralityReport(True)
 
     def max_fork_count(self) -> int:
         return max((len(t.forks) for t in self.transitions), default=0)

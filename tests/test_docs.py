@@ -1,0 +1,76 @@
+"""Documentation integrity: links resolve, CLI docs cover every command.
+
+The same link checker runs in the CI ``docs`` job (``tools/check_docs.py``);
+running it here too keeps tier-1 self-contained — a PR cannot merge a
+dangling cross-reference even if it skips the docs job.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+pytestmark = pytest.mark.smoke
+
+
+def test_all_markdown_links_resolve():
+    problems = []
+    for path in check_docs.doc_files():
+        problems.extend(check_docs.check_file(path))
+    assert not problems, "\n".join(
+        f"{p.relative_to(REPO_ROOT)}: {link!r}: {why}" for p, link, why in problems
+    )
+
+
+def test_doc_suite_is_present():
+    names = {p.relative_to(REPO_ROOT).as_posix() for p in check_docs.doc_files()}
+    for required in (
+        "README.md",
+        "PERFORMANCE.md",
+        "EXPERIMENTS.md",
+        "docs/ARCHITECTURE.md",
+        "docs/CLI.md",
+    ):
+        assert required in names
+
+
+def test_cli_doc_covers_every_subcommand():
+    from repro.cli import build_parser
+
+    # the subparser choices are the authoritative command list
+    parser = build_parser()
+    subparsers = next(
+        a for a in parser._actions if hasattr(a, "choices") and a.choices
+    )
+    commands = set(subparsers.choices)
+    cli_md = (REPO_ROOT / "docs" / "CLI.md").read_text()
+    headings = {
+        line.lstrip("#").strip()
+        for line in cli_md.splitlines()
+        if line.startswith("## ")
+    }
+    missing = commands - headings
+    assert not missing, f"docs/CLI.md lacks a section for: {sorted(missing)}"
+
+
+def test_quickstart_extraction_yields_runnable_commands():
+    # the CI docs job executes exactly this extraction, so it must be
+    # non-empty and contain the analyze invocation the README documents
+    script = check_docs.quickstart_commands()
+    assert "race.prob" in script
+    assert "python -m repro analyze" in script
+    assert "python -m repro exact" in script
+    # every non-empty line is a command, not markdown leakage
+    for line in script.splitlines():
+        assert not line.startswith(("#", "```", "|", "[")), line
+
+
+def test_github_slugging_matches_expectations():
+    assert check_docs.github_slug("The layer stack") == "the-layer-stack"
+    assert check_docs.github_slug("`compile`") == "compile"
+    assert check_docs.github_slug("Where new work plugs in") == "where-new-work-plugs-in"

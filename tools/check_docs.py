@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for the documentation suite.
+
+Scans ``docs/`` plus the top-level ``*.md`` files and verifies that every
+relative markdown link resolves:
+
+* ``[text](path)`` — ``path`` must exist relative to the linking file;
+* ``[text](path#anchor)`` / ``[text](#anchor)`` — the target file must
+  contain a heading whose GitHub-style slug equals ``anchor``;
+* ``http(s)://`` links are skipped (CI runs offline by design);
+* fenced code blocks are ignored (they contain example syntax, not links).
+
+Exit status 0 when every link resolves, 1 otherwise (one diagnostic line
+per broken link).  Run from anywhere: paths are repo-root-relative.
+Used by the ``docs`` CI job and by ``tests/test_docs.py``.
+
+``--quickstart`` instead prints the ``sh`` code blocks of the README's
+Quickstart section as an executable script, so CI runs *the documented
+commands themselves* rather than a copy that can silently go stale.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: [text](target) — excluding images handled identically, so keep the "!"
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE = re.compile(r"^(```|~~~)")
+
+
+def doc_files() -> List[Path]:
+    """The documentation set: docs/**/*.md plus top-level markdown."""
+    files = sorted(REPO_ROOT.glob("*.md")) + sorted(REPO_ROOT.glob("docs/**/*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def _strip_fences(text: str) -> str:
+    out: List[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else line)
+    return "\n".join(out)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to dashes."""
+    # inline code/links inside headings contribute their text only
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    heading = heading.replace("`", "")
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> List[str]:
+    slugs: List[str] = []
+    seen: dict = {}
+    for line in _strip_fences(path.read_text(encoding="utf-8")).splitlines():
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        # GitHub dedupes repeated headings with -1, -2, ...
+        if slug in seen:
+            seen[slug] += 1
+            slug = f"{slug}-{seen[slug]}"
+        else:
+            seen[slug] = 0
+        slugs.append(slug)
+    return slugs
+
+
+def links_of(path: Path) -> Iterable[str]:
+    for match in _LINK.finditer(_strip_fences(path.read_text(encoding="utf-8"))):
+        yield match.group(1)
+
+
+def check_file(path: Path) -> List[Tuple[Path, str, str]]:
+    """Returns (file, link, problem) tuples for every broken link."""
+    problems: List[Tuple[Path, str, str]] = []
+    for link in links_of(path):
+        if link.startswith(("http://", "https://", "mailto:")):
+            continue
+        target_part, _, anchor = link.partition("#")
+        if target_part:
+            target = (path.parent / target_part).resolve()
+            if not target.exists():
+                problems.append((path, link, "target does not exist"))
+                continue
+        else:
+            target = path
+        if anchor:
+            if target.is_dir() or target.suffix.lower() not in (".md", ".markdown"):
+                continue  # anchors into non-markdown targets: not checkable
+            if anchor not in anchors_of(target):
+                problems.append((path, link, f"no heading for anchor #{anchor}"))
+    return problems
+
+
+def quickstart_commands(readme: Path = REPO_ROOT / "README.md") -> str:
+    """The ``sh`` fenced blocks of the README's Quickstart section, as one
+    shell script (they run from the repo root — that is where the README's
+    ``PYTHONPATH=src`` is valid)."""
+    lines = readme.read_text(encoding="utf-8").splitlines()
+    script: List[str] = []
+    in_section = False
+    in_fence = False
+    for line in lines:
+        if line.startswith("## "):
+            in_section = line.strip().lower() == "## quickstart"
+            continue
+        if not in_section:
+            continue
+        stripped = line.strip()
+        if not in_fence and stripped in ("```sh", "```bash", "```shell"):
+            in_fence = True
+            continue
+        if in_fence and _FENCE.match(stripped):
+            in_fence = False
+            continue
+        if in_fence:
+            script.append(line)
+    return "\n".join(script) + "\n" if script else ""
+
+
+def main() -> int:
+    if "--quickstart" in sys.argv[1:]:
+        script = quickstart_commands()
+        if not script:
+            print("check_docs: no sh blocks in the README Quickstart section",
+                  file=sys.stderr)
+            return 1
+        sys.stdout.write(script)
+        return 0
+    files = doc_files()
+    if not files:
+        print("check_docs: no markdown files found", file=sys.stderr)
+        return 1
+    problems: List[Tuple[Path, str, str]] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for path, link, why in problems:
+        rel = path.relative_to(REPO_ROOT)
+        print(f"{rel}: broken link {link!r}: {why}", file=sys.stderr)
+    checked = len(files)
+    if problems:
+        print(f"check_docs: {len(problems)} broken link(s) in {checked} files",
+              file=sys.stderr)
+        return 1
+    print(f"check_docs: {checked} markdown files ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
