@@ -1,10 +1,12 @@
 """Sparse fixpoint engine vs the legacy pure-Python reference.
 
-Times both engines on the three workload shapes that stress different
-paths — a tiny chain (call overhead), an iteration-heavy slow-mixing chain
-(the dense Gauss-Seidel operator path), and a state-heavy truncated walk
-(the CSR path) — asserting bracket agreement and recording every entry to
-``BENCH_fixpoint.json`` through the session recorder in ``conftest.py``.
+Times both engines on the workload shapes that stress different paths — a
+tiny chain (call overhead), an iteration-heavy slow-mixing chain (the
+dense Gauss-Seidel operator path), state-heavy truncated walks (the CSR
+path and the int64 frontier explorer), and the fractional Table 1 shapes
+riding the scaled-lattice fixed-point explorer — asserting bracket
+agreement and recording every entry to ``BENCH_fixpoint.json`` through the
+session recorder in ``conftest.py``.
 
 The recorded trajectory is also a *regression gate*: a run whose
 ``sparse_seconds`` degrades more than 2x against the best time ever
@@ -41,8 +43,8 @@ REGRESSION_FACTOR = float(os.environ.get("REPRO_BENCH_GATE_FACTOR", "2.0"))
 
 @pytest.mark.parametrize("name", sorted(FIXPOINT_WORKLOADS))
 def test_sparse_engine_vs_reference(name, fixpoint_recorder, benchmark):
-    source, max_states = FIXPOINT_WORKLOADS[name]
-    pts = compile_source(source, name=name).pts
+    source, max_states, integer_mode = FIXPOINT_WORKLOADS[name]
+    pts = compile_source(source, name=name, integer_mode=integer_mode).pts
 
     start = time.perf_counter()
     fast = benchmark(lambda: value_iteration(pts, max_states=max_states))

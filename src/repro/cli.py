@@ -163,12 +163,14 @@ def _cmd_bench(args) -> int:
 
     workloads = dict(FIXPOINT_WORKLOADS)
     for path in args.files:
-        workloads[Path(path).stem] = (Path(path).read_text(), 20_000)
+        workloads[Path(path).stem] = (Path(path).read_text(), 20_000, True)
 
     results = []
-    for name, (source, default_max_states) in workloads.items():
+    for name, (source, default_max_states, integer_mode) in workloads.items():
         max_states = args.max_states or default_max_states
-        pts = compile_source(source, name=name, integer_mode=not args.real_valued).pts
+        pts = compile_source(
+            source, name=name, integer_mode=integer_mode and not args.real_valued
+        ).pts
 
         # exploration phase alone, so the int64-vs-Fraction BFS win is
         # visible separately from the value-iteration sweeps; the Fraction
@@ -426,10 +428,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_exact.add_argument("--max-states", type=int, default=200_000)
     p_exact.add_argument(
         "--explore",
-        choices=["auto", "int64", "fraction"],
+        choices=["auto", "int64", "scaled", "fraction"],
         default="auto",
         help="exploration engine: int64 frontier batches on integer-lattice "
-        "programs, exact Fraction interning otherwise (default: auto)",
+        "programs, the same engine in fixed-point coordinates (scaled) on "
+        "admissible fractional ones, exact Fraction interning otherwise "
+        "(default: auto picks among all three)",
     )
     p_exact.add_argument(
         "--schedule",
@@ -464,7 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--explore",
-        choices=["auto", "int64", "fraction"],
+        choices=["auto", "int64", "scaled", "fraction"],
         default="auto",
         help="exploration engine to benchmark (default: auto)",
     )

@@ -19,7 +19,7 @@ bracket remains rigorous.
 Engine architecture (see ``PERFORMANCE.md`` and ``docs/ARCHITECTURE.md``)
 -------------------------------------------------------------------------
 
-Exploration runs on one of two interchangeable engines producing
+Exploration runs on one of three interchangeable engines producing
 *bit-identical* models:
 
 * **int64 frontier batches** (the fast path, ``explore="int64"``): when the
@@ -34,6 +34,20 @@ Exploration runs on one of two interchangeable engines producing
   coefficient-magnitude admission checks guarantee the reference engine's
   float guard evaluation is exact on every in-range state, and any state
   value beyond ``2**31`` aborts the batch and falls back to the exact path.
+* **scaled-lattice int64 frontier batches** (``explore="scaled"``): the
+  same frontier engine re-lowered onto a *fixed-point* lattice.  When a
+  non-integral PTS admits per-variable denominator LCMs ``s_v``
+  (:attr:`IntegralityReport.scale <repro.pts.IntegralityReport>`), the BFS
+  explores the rescaled integers ``s_v * v`` — guards and affine steppers
+  are rescaled exactly at plan-compile time (each guard row multiplied by
+  its own positive integer so coefficients stay integral) — and the lazy
+  ``index`` descales back to the exact rationals.  The translation is
+  validated by construction: per-row admission checks bound both the
+  reference engine's float guard-evaluation error and the lattice gap
+  ``1/m`` of the exact guard value, so the scaled integer decision
+  ``<= 0`` coincides with the reference's float ``<= 1e-9`` decision on
+  every in-range state (see ``_scaled_guard_row``), keeping the
+  sequential-discovery-order bit-identity contract intact.
 * **scalar Fraction interning** (``explore="fraction"``): the original
   state-interning BFS whose per-location transition logic is *compiled* —
   guards become float predicates and fork/draw updates become
@@ -71,6 +85,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
+from math import gcd
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -92,8 +107,10 @@ State = Tuple[str, Tuple[Fraction, ...]]
 
 #: version stamp of the exploration/sweep machinery, folded into engine
 #: cache keys (see ``repro.engine.task``) so artifacts produced by
-#: different fixpoint engines can never alias on disk
-FIXPOINT_FINGERPRINT = "int64-frontier.blocked-gs.v1"
+#: different fixpoint engines can never alias on disk.
+#: v2: scaled-lattice (fixed-point int64) admission — ``explore="auto"``
+#: now covers fractional PTSs too
+FIXPOINT_FINGERPRINT = "scaled-int64-frontier.blocked-gs.v2"
 
 #: below this many states a dense matrix beats CSR (per-call overhead of
 #: scipy.sparse matvecs dominates on iteration-heavy, state-light chains)
@@ -117,7 +134,30 @@ _INT_GUARD_MAGNITUDE = 2**52
 #: before the per-batch range check (updates are exact in all engines)
 _INT_STEP_MAGNITUDE = 2**62
 
-_EXPLORE_MODES = ("auto", "int64", "fraction")
+#: per-variable *real-coordinate* magnitude limit of the scaled-lattice
+#: engine: scaled values are range-checked against
+#: ``min(2**31, s_v * 2**15)``, i.e. descaled magnitudes stay below 2**15.
+#: Together with `_SCALED_GUARD_SLACK` this is what bounds the reference
+#: engine's float guard-evaluation error on fractional states (scaled
+#: guard decisions are exact integers, the reference's are floats with a
+#: 1e-9 tolerance — see `_scaled_guard_row` for the agreement argument)
+_SCALED_REAL_LIMIT = 2**15
+
+#: cap on a scaled guard row's clearing multiplier ``m``: the exact guard
+#: value at any lattice state is a multiple of ``1/m``, so a nonzero value
+#: is at least ``1/m >= 2e-9`` — comfortably past the reference's 1e-9
+#: float tolerance even after the worst admissible evaluation error
+_SCALED_GAP_LIMIT = 5 * 10**8
+
+#: admissible bound on the reference engine's absolute float error when it
+#: evaluates a guard row at any in-range state; half the margin between
+#: the lattice gap floor (2e-9) and the 1e-9 decision tolerance
+_SCALED_GUARD_SLACK = 5e-10
+
+#: unit roundoff of IEEE double arithmetic
+_FLOAT_ULP = 2.0**-53
+
+_EXPLORE_MODES = ("auto", "int64", "scaled", "fraction")
 _SCHEDULES = ("auto", "jacobi", "gauss-seidel")
 
 #: thin-frontier bailout (``explore="auto"`` only): after this many BFS
@@ -300,25 +340,115 @@ class _IntLocPlan:
         self.steppers = steppers
 
 
-def _compile_int_plan(pts: PTS) -> Optional[Dict[int, _IntLocPlan]]:
+class _IntPlan:
+    """A compiled frontier-batch exploration plan plus its lattice.
+
+    ``scale[j]`` is the fixed-point denominator of program variable ``j``
+    (all ones on the plain integer lattice, ``scaled = False``); state
+    vectors inside the BFS hold ``scale * value``.  ``limits[j]`` is the
+    per-variable magnitude bound in *scaled* coordinates that every
+    admitted state must satisfy — ``2**31`` on the integer lattice,
+    ``min(2**31, scale[j] * 2**15)`` on scaled ones.
+    """
+
+    __slots__ = ("by_loc", "scale", "limits", "scaled")
+
+    def __init__(self, by_loc, scale, limits, scaled):
+        self.by_loc = by_loc
+        self.scale = scale
+        self.limits = limits
+        self.scaled = scaled
+
+
+def _scaled_guard_row(
+    expr, var_index: Dict[str, int], scale: List[int], limits: List[int]
+) -> Optional[Tuple[List[int], int]]:
+    """Rescale one guard inequality onto the fixed-point lattice, or
+    ``None`` when it is inadmissible.
+
+    The exact row ``sum(a_j * x_j) + c <= 0`` becomes
+    ``sum((m * a_j / s_j) * (s_j * x_j)) + m * c <= 0`` for the smallest
+    positive integer ``m`` clearing every denominator — sign-preserving,
+    so the decision is unchanged.  Admission enforces the
+    translation-validation argument that the *exact* integer decision
+    equals the reference engine's ``float <= 1e-9`` decision at every
+    in-range lattice state:
+
+    * ``m <= 5e8``: the exact guard value is a multiple of ``1/m``, so a
+      nonzero value is at least ``2e-9``;
+    * the reference's float evaluation error is below ``5e-10``: with
+      ``nt`` coefficient terms evaluated in reference order, the absolute
+      error is at most ``(nt + 4) * u * (|c| + sum |a_j| * V_j)`` for unit
+      roundoff ``u = 2**-53`` and per-variable real magnitude limits
+      ``V_j = limits[j] / s_j`` (each input is correctly rounded, each
+      product adds ~3u relative error, each partial sum one more);
+
+    hence exact ``<= 0`` implies float ``<= 5e-10 < 1e-9``, and exact
+    ``> 0`` implies float ``>= 2e-9 - 5e-10 > 1e-9``.  The rescaled
+    int64 row additionally stays below ``2**62`` so the batched integer
+    dot products cannot wrap.
+    """
+    nv = len(scale)
+    terms = [(var_index[name], Fraction(coeff)) for name, coeff in expr.iter_coeffs()]
+    const = Fraction(expr.const)
+    mult = const.denominator
+    rescaled = []
+    for j, coeff in terms:
+        q = coeff / scale[j]
+        rescaled.append((j, q))
+        mult = mult * q.denominator // gcd(mult, q.denominator)
+    if mult > _SCALED_GAP_LIMIT:
+        return None
+    row = [0] * nv
+    for j, q in rescaled:
+        row[j] = int(q * mult)
+    c = int(const * mult)
+    if sum(abs(row[j]) * limits[j] for j in range(nv)) + abs(c) >= _INT_STEP_MAGNITUDE:
+        return None
+    magnitude = abs(float(const)) + sum(
+        abs(float(coeff)) * (limits[j] / scale[j]) for j, coeff in terms
+    )
+    if (len(terms) + 4) * _FLOAT_ULP * magnitude > _SCALED_GUARD_SLACK:
+        return None
+    return row, c
+
+
+def _compile_int_plan(pts: PTS, allow_scaled: bool = False) -> Optional[_IntPlan]:
     """Compile the int64 exploration plan, or ``None`` when inadmissible.
 
-    Admission requires the integer lattice (:meth:`PTS.integrality`) plus
-    magnitude bounds: guard rows must satisfy
+    On the plain integer lattice (:meth:`PTS.integrality`), admission
+    requires magnitude bounds: guard rows must satisfy
     ``sum(|coeff|) * 2**31 + |const| < 2**52`` — which simultaneously rules
     out int64 overflow and makes the reference engine's float evaluation of
     the (integer-valued) guard expression exact on every in-range state, so
     ``exact <= 0`` and ``float <= 1e-9`` are the same decision — and update
     rows must stay below ``2**62`` so successor products cannot wrap before
     the per-batch range check.
+
+    With ``allow_scaled``, non-integral systems whose report carries
+    per-variable fixed-point denominators are re-lowered onto the scaled
+    lattice instead: guard rows via :func:`_scaled_guard_row` (which owns
+    the float-agreement argument), steppers via exact rescaling
+    ``A'[v, j] = s_v * A[v, j] / s_j`` / ``c'_v = s_v * c_v`` (integral by
+    the report's divisibility fixpoint).
     """
-    if not pts.integrality().integral:
+    report = pts.integrality()
+    if report.integral:
+        scaled = False
+    elif allow_scaled and report.scale is not None:
+        scaled = True
+    else:
         return None
     program_vars = pts.program_vars
     nv = len(program_vars)
     var_index = {v: i for i, v in enumerate(program_vars)}
     loc_id = {name: i for i, name in enumerate(pts.locations)}
     draw_list = _draw_list(pts)
+    scale = [int(s) for s in (report.scale or (1,) * nv)]
+    if scaled:
+        limits = [min(_INT_VALUE_LIMIT, s * _SCALED_REAL_LIMIT) for s in scale]
+    else:
+        limits = [_INT_VALUE_LIMIT] * nv
 
     rows_by_loc: Dict[int, List[Tuple]] = {}
     step_cache: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
@@ -327,12 +457,18 @@ def _compile_int_plan(pts: PTS) -> Optional[Dict[int, _IntLocPlan]]:
         guard_consts: List[int] = []
         for ineq in t.guard.inequalities:
             expr = ineq.expr
-            row = [0] * nv
-            for name, coeff in expr.iter_coeffs():
-                row[var_index[name]] = int(coeff)
-            const = int(expr.const)
-            if sum(abs(a) for a in row) * _INT_VALUE_LIMIT + abs(const) >= _INT_GUARD_MAGNITUDE:
-                return None
+            if scaled:
+                compiled_row = _scaled_guard_row(expr, var_index, scale, limits)
+                if compiled_row is None:
+                    return None
+                row, const = compiled_row
+            else:
+                row = [0] * nv
+                for name, coeff in expr.iter_coeffs():
+                    row[var_index[name]] = int(coeff)
+                const = int(expr.const)
+                if sum(abs(a) for a in row) * _INT_VALUE_LIMIT + abs(const) >= _INT_GUARD_MAGNITUDE:
+                    return None
             guard_rows.append(row)
             guard_consts.append(const)
         steppers: List[Tuple[float, int, np.ndarray, np.ndarray]] = []
@@ -345,7 +481,7 @@ def _compile_int_plan(pts: PTS) -> Optional[Dict[int, _IntLocPlan]]:
                 if compiled is None:
                     a_rows: List[List[int]] = []
                     c_row: List[int] = []
-                    for v in program_vars:
+                    for vi, v in enumerate(program_vars):
                         expr = fork.update.assignments.get(v)
                         if expr is None:
                             row = [0] * nv
@@ -358,10 +494,26 @@ def _compile_int_plan(pts: PTS) -> Optional[Dict[int, _IntLocPlan]]:
                         for name, coeff in expr.iter_coeffs():
                             if name in draw:
                                 const = const + coeff * draw[name]
+                            elif scaled:
+                                j = var_index[name]
+                                q = Fraction(coeff) * scale[vi] / scale[j]
+                                if q.denominator != 1:  # pragma: no cover -
+                                    # the report's divisibility fixpoint
+                                    # guarantees integrality; stay safe
+                                    return None
+                                row[j] = int(q)
                             else:
                                 row[var_index[name]] = int(coeff)
-                        c = int(const)
-                        if sum(abs(a) for a in row) * _INT_VALUE_LIMIT + abs(c) >= _INT_STEP_MAGNITUDE:
+                        if scaled:
+                            scaled_const = Fraction(const) * scale[vi]
+                            if scaled_const.denominator != 1:  # pragma: no cover
+                                return None
+                            c = int(scaled_const)
+                        else:
+                            c = int(const)
+                        if sum(
+                            abs(row[j]) * limits[j] for j in range(nv)
+                        ) + abs(c) >= _INT_STEP_MAGNITUDE:
                             return None
                         a_rows.append(row)
                         c_row.append(c)
@@ -375,7 +527,7 @@ def _compile_int_plan(pts: PTS) -> Optional[Dict[int, _IntLocPlan]]:
             (guard_rows, guard_consts, steppers)
         )
 
-    plan: Dict[int, _IntLocPlan] = {}
+    by_loc: Dict[int, _IntLocPlan] = {}
     for lid, transitions in rows_by_loc.items():
         all_rows: List[List[int]] = []
         all_consts: List[int] = []
@@ -387,13 +539,13 @@ def _compile_int_plan(pts: PTS) -> Optional[Dict[int, _IntLocPlan]]:
             all_consts.extend(guard_consts)
             slices.append((start, len(all_rows)))
             stepper_lists.append(steppers)
-        plan[lid] = _IntLocPlan(
+        by_loc[lid] = _IntLocPlan(
             np.array(all_rows, dtype=np.int64).reshape(len(all_rows), nv),
             np.array(all_consts, dtype=np.int64),
             slices,
             stepper_lists,
         )
-    return plan
+    return _IntPlan(by_loc, scale, limits, scaled)
 
 
 # ---------------------------------------------------------------------------
@@ -409,8 +561,8 @@ class SparseFixpointModel:
     state (sink rows are empty); the fixed sink values and the overflow
     pessimization live in the affine offsets, so one sweep of both passes is
     ``X <- matrix @ X + B``.  ``explored_via`` records which exploration
-    engine produced the model (``"int64"`` or ``"fraction"``); both produce
-    bit-identical data on admissible systems.
+    engine produced the model (``"int64"``, ``"scaled-int64"`` or
+    ``"fraction"``); all produce bit-identical data on admissible systems.
     """
 
     n: int
@@ -433,9 +585,11 @@ class SparseFixpointModel:
     def index(self) -> Dict[State, int]:
         """State -> row interning map, materialized on first access.
 
-        The int64 explorer never builds Python state tuples during the BFS;
-        callers that want the mapping (tests, debugging) pay for it here
-        instead of on every exploration.
+        The int64/scaled-int64 explorers never build Python state tuples
+        during the BFS (the scaled one additionally descales fixed-point
+        coordinates back to exact rationals here); callers that want the
+        mapping (tests, debugging) pay for it here instead of on every
+        exploration.
         """
         if self._index is None:
             self._index = self._index_builder() if self._index_builder else {}
@@ -466,37 +620,60 @@ def build_sparse_model(
 
     ``explore`` selects the exploration engine: ``"auto"`` (default) runs
     the int64 frontier-batch BFS whenever the PTS is admitted by
-    :func:`_compile_int_plan` and silently falls back to the exact path on
-    inadmissible systems or on value overflow mid-exploration;
-    ``"int64"`` forces the fast path (raising :class:`ModelError` when it
-    cannot run); ``"fraction"`` forces the exact scalar path.
+    :func:`_compile_int_plan` — on the plain integer lattice *or*, for
+    fractional systems, on the scaled (fixed-point) lattice — and silently
+    falls back to the exact path on inadmissible systems or on value
+    overflow mid-exploration; ``"int64"`` forces the integer-lattice fast
+    path and ``"scaled"`` the fixed-point one (each raising
+    :class:`ModelError` when it cannot run; ``"scaled"`` on an
+    integer-lattice PTS degenerates to the int64 path with all scale
+    factors 1); ``"fraction"`` forces the exact scalar path.
 
-    Both engines visit states in exactly the reference engine's order (so
+    All engines visit states in exactly the reference engine's order (so
     ``max_states`` truncation cuts the same frontier) and emit COO triplets
     in the same order, making the resulting models bit-identical.
     """
     if explore not in _EXPLORE_MODES:
         raise ValueError(f"explore must be one of {_EXPLORE_MODES}, got {explore!r}")
     if explore != "fraction":
-        plan = _compile_int_plan(pts)
+        plan = _compile_int_plan(pts, allow_scaled=explore in ("auto", "scaled"))
         if plan is None:
             if explore == "int64":
                 raise ModelError(
                     "int64 exploration requires an integer-lattice PTS: "
                     + (pts.integrality().reason or "coefficient magnitudes too large")
                 )
+            if explore == "scaled":
+                report = pts.integrality()
+                if report.integral:
+                    # degenerate case: the scale-1 (plain int64) plan was
+                    # rejected, so rescaling played no part in the refusal
+                    reason = "coefficient magnitudes too large"
+                elif report.scale is None:
+                    reason = report.scale_reason
+                else:
+                    reason = (
+                        "rescaled coefficient magnitudes or guard gaps "
+                        "exceed the admission bounds"
+                    )
+                raise ModelError(
+                    "scaled exploration requires a fixed-point-admissible "
+                    "PTS: " + reason
+                )
         else:
             try:
-                # forced int64 disables the thin-frontier bailout so tests
-                # and benchmarks exercise the batched path deterministically
+                # forced int64/scaled disables the thin-frontier bailout so
+                # tests and benchmarks exercise the batched path
+                # deterministically
                 return _build_model_int(
                     pts, plan, max_states, allow_thin_bailout=explore == "auto"
                 )
             except _IntOverflow:
-                if explore == "int64":
+                if explore in ("int64", "scaled"):
                     raise ModelError(
-                        f"state values overflowed the int64 frontier limit "
-                        f"(|value| > {_INT_VALUE_LIMIT}); rerun with "
+                        f"state values overflowed the {explore} frontier "
+                        f"limit (|scaled value| beyond the per-variable "
+                        f"bound, at most {_INT_VALUE_LIMIT}); rerun with "
                         f"explore='fraction'"
                     ) from None
                 # fall through to the exact path, which handles any magnitude
@@ -576,11 +753,11 @@ def _build_model_exact(pts: PTS, max_states: int) -> SparseFixpointModel:
 
 def _build_model_int(
     pts: PTS,
-    plan: Dict[int, _IntLocPlan],
+    plan: _IntPlan,
     max_states: int,
     allow_thin_bailout: bool = False,
 ) -> SparseFixpointModel:
-    """The int64 engine: frontier-batch BFS with void-view dedup.
+    """The int64/scaled-int64 engine: frontier-batch BFS with void-view dedup.
 
     Each BFS level is processed as numpy batches — guard dispatch is one
     integer matrix product per location group, successor generation one
@@ -590,9 +767,13 @@ def _build_model_int(
     interning, truncation and triplet emission replicate the scalar engine
     exactly.  The global intern table is a *sorted* void-key array probed
     with ``np.searchsorted`` — no per-state Python hashing anywhere.
-    Raises :class:`_IntOverflow` the moment any successor leaves
-    ``[-2**31, 2**31]`` and :class:`_ThinFrontier` (when allowed) on
-    chain-shaped systems whose levels are too narrow to amortize batching.
+    On a scaled lattice the BFS runs entirely in fixed-point coordinates
+    (``plan.scale * value``, an exact bijection onto the reachable
+    rationals); only the lazy ``index`` descales back.  Raises
+    :class:`_IntOverflow` the moment any successor leaves the per-variable
+    admitted range ``plan.limits`` and :class:`_ThinFrontier` (when
+    allowed) on chain-shaped systems whose levels are too narrow to
+    amortize batching.
     """
     loc_names = pts.locations
     loc_id = {name: i for i, name in enumerate(loc_names)}
@@ -600,9 +781,15 @@ def _build_model_int(
     program_vars = pts.program_vars
     nv = len(program_vars)
     width = nv + 1  # location id + values, the dedup record
+    limits = np.array(plan.limits, dtype=np.int64)
 
-    init_vals = [int(pts.init_valuation[v]) for v in program_vars]
-    if any(abs(x) > _INT_VALUE_LIMIT for x in init_vals):
+    init_vals = []
+    for v, s in zip(program_vars, plan.scale):
+        value = pts.init_valuation[v] * s
+        if value.denominator != 1:  # pragma: no cover - admission folds
+            raise _IntOverflow  # init denominators into the scale
+        init_vals.append(int(value))
+    if any(abs(x) > limit for x, limit in zip(init_vals, plan.limits)):
         raise _IntOverflow
 
     cap = 1024
@@ -654,7 +841,7 @@ def _build_model_int(
                 continue
             sel = np.nonzero(batch_locs == lid)[0]
             group = batch_vals[sel]
-            lp = plan.get(lid)
+            lp = plan.by_loc.get(lid)
             if lp is None:
                 valuation = dict(zip(program_vars, (int(x) for x in group[0])))
                 raise ModelError(
@@ -746,9 +933,13 @@ def _build_model_int(
                 # range-check only states actually admitted: candidates the
                 # max_states budget drops (or duplicates of in-range states)
                 # may carry any magnitude — they never feed guard evaluation.
-                # Every admitted state staying within the limit is also what
-                # keeps the next level's stepper products inside int64.
-                if admitted_vals.size and int(np.abs(admitted_vals).max()) > _INT_VALUE_LIMIT:
+                # Every admitted state staying within its per-variable limit
+                # is also what keeps the next level's stepper products
+                # inside int64 (and, on scaled lattices, the reference
+                # engine's float guard evaluation within the admitted error)
+                if admitted_vals.size and bool(
+                    (np.abs(admitted_vals) > limits).any()
+                ):
                     raise _IntOverflow
                 vals[n : n + m] = admitted_vals
                 locs[n : n + m] = dest_loc[admitted_rows]
@@ -801,6 +992,21 @@ def _build_model_int(
     def index_builder() -> Dict[State, int]:
         names = [loc_names[i] for i in locs.tolist()]
         rows_list = vals.tolist()
+        if plan.scaled:
+            # descale back to the exact representation: Fraction(k, s)
+            # auto-reduces, and _normalize keeps integral values as plain
+            # ints — both hash-equal to the scalar engine's tuples
+            denoms = plan.scale
+            return {
+                (
+                    names[i],
+                    tuple(
+                        _normalize(Fraction(k, s))
+                        for k, s in zip(rows_list[i], denoms)
+                    ),
+                ): i
+                for i in range(n)
+            }
         return {
             (names[i], tuple(rows_list[i])): i for i in range(n)
         }  # ints hash-equal to the Fractions of the scalar engine
@@ -813,7 +1019,7 @@ def _build_model_int(
         x0_lower=b_lower.copy(),
         x0_upper=x0_upper,
         truncated=truncated,
-        explored_via="int64",
+        explored_via="scaled-int64" if plan.scaled else "int64",
         _index_builder=index_builder,
     )
 

@@ -46,7 +46,10 @@ _RESOLVE_MEMO_CAP = 64  # > the 36 specs of a full `runner all` sweep
 #: exploration + blocked Gauss-Seidel schedules) — results from the two
 #: exploration paths are bit-identical by construction, but artifacts
 #: produced by different fixpoint engine versions must never alias.
-CACHE_KEY_VERSION = 2
+#: v3: scaled-lattice (fixed-point int64) admission — ``explore="auto"``
+#: semantics changed (fractional PTSs now take the frontier engine), so
+#: artifacts written under the v2 admission rules must read as misses.
+CACHE_KEY_VERSION = 3
 
 
 def _fixpoint_fingerprint() -> str:

@@ -20,22 +20,28 @@ __all__ = [
     "explore_timings",
 ]
 
-#: name -> (source, default max_states): small / iteration-heavy /
-#: state-heavy, covering both the dense and the CSR engine paths, plus two
-#: 100k-state all-integer Table 1 shapes where the int64 frontier explorer
-#: shows its headroom over the exact Fraction BFS (see ``PERFORMANCE.md``)
-FIXPOINT_WORKLOADS: Dict[str, Tuple[str, int]] = {
+#: name -> (source, default max_states, integer_mode): small /
+#: iteration-heavy / state-heavy, covering both the dense and the CSR
+#: engine paths, plus two 100k-state all-integer Table 1 shapes where the
+#: int64 frontier explorer shows its headroom over the exact Fraction BFS,
+#: and the three fractional Table 1 shapes the scaled-lattice (fixed-point
+#: int64) admission opened up (see ``PERFORMANCE.md``).  ``integer_mode``
+#: mirrors the program registry: fractional-step programs must keep their
+#: strict guards un-tightened.
+FIXPOINT_WORKLOADS: Dict[str, Tuple[str, int, bool]] = {
     "gambler": (
         "x := 3\nwhile x >= 1 and x <= 9:\n    switch:\n"
         "        prob(0.5): x := x + 1\n        prob(0.5): x := x - 1\n"
         "assert x <= 0",
         20_000,
+        True,
     ),
     "gambler-200": (
         "x := 50\nwhile x >= 1 and x <= 199:\n    switch:\n"
         "        prob(0.5): x := x + 1\n        prob(0.5): x := x - 1\n"
         "assert x <= 0",
         20_000,
+        True,
     ),
     "asym-walk": (
         "x := 0\nt := 0\nwhile x <= 19:\n    switch:\n"
@@ -43,6 +49,7 @@ FIXPOINT_WORKLOADS: Dict[str, Tuple[str, int]] = {
         "        prob(0.25): x, t := x - 1, t + 1\n"
         "assert t <= 60",
         20_000,
+        True,
     ),
     # Table 1's asymmetric-walk shape scaled to a 100k-state exploration
     "asym-walk-100k": (
@@ -51,6 +58,7 @@ FIXPOINT_WORKLOADS: Dict[str, Tuple[str, int]] = {
         "        prob(0.25): x, t := x - 1, t + 1\n"
         "assert t <= 600",
         100_000,
+        True,
     ),
     # Table 1's RdAdder (500 fair-coin increments), truncated at 100k states
     "rdadder-100k": (
@@ -58,6 +66,51 @@ FIXPOINT_WORKLOADS: Dict[str, Tuple[str, int]] = {
         "        i, x := i + 1, x + 1\n    else:\n        i := i + 1\n"
         "assert x <= 275",
         100_000,
+        True,
+    ),
+    # Table 1's 3DWalk (repro.programs.stoinv.walk_3d defaults): 0.1-steps
+    # put it on the scale-10 fixed-point lattice
+    "3dwalk-100k": (
+        "x := 100\ny := 100\nz := 100\n"
+        "while x >= 0 and y >= 0 and z >= 0:\n"
+        "    assert x + y + z <= 1000\n"
+        "    if prob(0.9):\n        switch:\n"
+        "            prob(0.5): x, y := x - 1, y - 1\n"
+        "            prob(0.5): z := z - 1\n"
+        "    else:\n        switch:\n"
+        "            prob(0.5): x, y := x + 0.1, y + 0.1\n"
+        "            prob(0.5): z := z + 0.1\n",
+        100_000,
+        False,
+    ),
+    # Table 1's Robot (repro.programs.deviation.robot defaults): 1.414
+    # displacements and +-0.05 actuator noise, scale-500 lattice on x/ex
+    "robot-100k": (
+        "noise ~ discrete((0.5, -0.05), (0.5, 0.05))\n"
+        "i := 0\nx := 0\nex := 0\n"
+        "while i <= 59:\n    switch:\n"
+        "        prob(0.2): i, x, ex := i + 1, x - 1.414 + noise, ex - 1.414\n"
+        "        prob(0.2): i, x, ex := i + 1, x + 1.414 + noise, ex + 1.414\n"
+        "        prob(0.2): i, x, ex := i + 1, x - 1 + noise, ex - 1\n"
+        "        prob(0.2): i, x, ex := i + 1, x + 1 + noise, ex + 1\n"
+        "        prob(0.2): i, x, ex := i + 1, x + noise, ex\n"
+        "assert x - ex <= 1.8",
+        100_000,
+        False,
+    ),
+    # Table 2's M1DWalk (repro.programs.hardware.m1dwalk, p=1e-7): integer
+    # lattice (fork probabilities never enter a state), but a width-2 chain
+    # — the thin-frontier bailout keeps it on the scalar engine under auto.
+    # Budgeted at 5k states: the chain is slow-mixing, and the reference
+    # engine's pure-Python sweeps grow superlinearly with the budget
+    "m1dwalk-5k": (
+        "const p = 1e-7\nx := 1\nwhile x <= 99:\n    switch:\n"
+        "        prob(p): exit\n"
+        "        prob(0.75 * (1 - p)): x := x + 1\n"
+        "        prob(0.25 * (1 - p)): x := x - 1\n"
+        "assert false",
+        5_000,
+        True,
     ),
 }
 
@@ -69,12 +122,14 @@ def explore_timings(
 
     Shared by the ``repro bench`` CLI and ``benchmarks/bench_fixpoint.py``
     so both producers emit the same schema: always ``explorer`` and
-    ``explore_seconds``; when the int64 engine ran (and ``compare`` is
-    true), also the exact Fraction-BFS comparison
-    ``explore_fraction_seconds`` and (whenever the timer resolved a
-    nonzero int64 time) ``explore_speedup``.  Keys are *omitted*, never
-    null, when inapplicable.  Pass ``compare=False`` to skip the slow
-    Fraction re-exploration (``repro bench --skip-reference``).
+    ``explore_seconds``; when a frontier engine ran (``"int64"`` or
+    ``"scaled-int64"``, and ``compare`` is true), also the exact
+    Fraction-BFS comparison ``explore_fraction_seconds`` and (whenever the
+    timer resolved a nonzero frontier time) ``explore_speedup``; when the
+    scaled engine ran, additionally the per-variable fixed-point
+    denominators as ``scale_factors``.  Keys are *omitted*, never null,
+    when inapplicable.  Pass ``compare=False`` to skip the slow Fraction
+    re-exploration (``repro bench --skip-reference``).
     """
     import time
 
@@ -87,7 +142,12 @@ def explore_timings(
         "explorer": model.explored_via,
         "explore_seconds": round(explore_seconds, 6),
     }
-    if compare and model.explored_via == "int64":
+    if model.explored_via == "scaled-int64":
+        scale = pts.integrality().scale or ()
+        fields["scale_factors"] = {
+            v: int(s) for v, s in zip(pts.program_vars, scale)
+        }
+    if compare and model.explored_via in ("int64", "scaled-int64"):
         start = time.perf_counter()
         build_sparse_model(pts, max_states=max_states, explore="fraction")
         fraction_seconds = time.perf_counter() - start

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from math import gcd, lcm
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ModelError
@@ -39,29 +40,68 @@ __all__ = [
 TERM = "__term__"
 FAIL = "__fail__"
 
+#: hard cap on any per-variable fixed-point denominator of the scaled
+#: lattice (see :meth:`PTS.integrality`): the guard-gap argument of the
+#: scaled int64 explorer needs ``1/scale`` to stay orders of magnitude
+#: above the reference engine's 1e-9 float guard tolerance
+_SCALE_LIMIT = 10**6
+
+#: bound on the divisibility-propagation passes of the scaled-lattice
+#: analysis — a safety net only: contractive update coefficients (like
+#: ``x := x/2``) grow some denominator geometrically and trip the
+#: ``_SCALE_LIMIT`` cap within a few passes, long before this budget
+_SCALE_PASSES = 64
+
 
 @dataclass(frozen=True)
 class IntegralityReport:
-    """Whether a PTS lives on the integer lattice, and why not if it doesn't.
+    """Lattice-admission report: does a PTS live on the integer lattice,
+    and if not, on which *scaled* (fixed-point) lattice?
 
-    A PTS is *integer-lattice* when every quantity that enters a reachable
-    state is an integer: the initial valuation, every guard coefficient and
-    constant, every update coefficient and constant, and every atom value of
-    every (discrete) sampling distribution.  On such systems the reachable
-    fragment is a subset of ``Z^|V|`` and state exploration can run on
-    machine integers (see the int64 frontier fast path in
-    :mod:`repro.core.fixpoint`) with decisions provably identical to the
-    exact :class:`~fractions.Fraction` semantics.
+    A PTS is *integer-lattice* (``integral``) when every quantity that
+    enters a reachable state is an integer: the initial valuation, every
+    guard coefficient and constant, every update coefficient and constant,
+    and every atom value of every (discrete) sampling distribution.  On
+    such systems the reachable fragment is a subset of ``Z^|V|`` and state
+    exploration can run on machine integers (see the int64 frontier fast
+    path in :mod:`repro.core.fixpoint`) with decisions provably identical
+    to the exact :class:`~fractions.Fraction` semantics.
 
-    Fork *probabilities* are deliberately exempt: they weight transitions
-    but never enter a state vector.
+    When the system is *not* integral, ``scale`` reports the per-variable
+    denominator LCMs ``s_v`` of a fixed-point lattice: every reachable
+    value of variable ``v`` is an integer multiple of ``1/s_v``, so
+    exploration can run on the rescaled integers ``s_v * v`` (the
+    ``"scaled-int64"`` engine) and descale emitted states back to the
+    exact representation.  ``scale`` is ``None`` — with ``scale_reason``
+    naming the witness — when no such lattice exists: continuous sampling,
+    contractive update coefficients (``x := x/2`` refines the lattice
+    forever), or denominators beyond the 10^6 cap.  For integral systems
+    ``scale`` is all ones.
+
+    Fork *probabilities* are deliberately exempt throughout: they weight
+    transitions but never enter a state vector.  Engine magnitude limits
+    (values that would overflow ``int64``) are a property of a *run*, not
+    of the system, and are checked by the explorer, not here.
     """
 
     integral: bool
     reason: str = ""
+    #: per-``program_vars`` fixed-point denominators, or ``None`` when the
+    #: system admits no finite scaled lattice
+    scale: Optional[Tuple[int, ...]] = None
+    #: why ``scale`` is ``None`` (empty otherwise)
+    scale_reason: str = ""
 
     def __bool__(self) -> bool:  # pragma: no cover - trivial
         return self.integral
+
+    @property
+    def max_scale(self) -> int:
+        """The coarsest single denominator covering every variable (1 when
+        no scaled lattice exists)."""
+        if not self.scale:
+            return 1
+        return lcm(*self.scale)
 
 
 class AffineUpdate:
@@ -218,7 +258,10 @@ class PTS:
             self._by_source.setdefault(t.source, []).append(t)
         self.locations: Tuple[str, ...] = self._collect_locations()
         self._validate()
-        self._integrality: Optional[IntegralityReport] = None
+        #: (report, stamp ids, stamp refs) — see :meth:`integrality` for
+        #: the immutability contract this cache leans on; dropped by
+        #: ``__getstate__`` so copies recompute instead of false-alarming
+        self._integrality: Optional[Tuple[IntegralityReport, Tuple, Tuple]] = None
 
     # -- construction-time validation -------------------------------------------
     def _collect_locations(self) -> Tuple[str, ...]:
@@ -301,55 +344,189 @@ class PTS:
         """Affine by construction; kept for interface symmetry."""
         return True
 
-    def integrality(self) -> IntegralityReport:
-        """Classify this PTS as integer-lattice or not (cached).
+    def _structure_stamp(self) -> Tuple[Tuple, Tuple]:
+        """Cheap fingerprint of everything :meth:`integrality` reads.
 
-        The report is the admission check of the int64 exploration fast
-        path: when it is negative, exploration must stay on the exact
-        Fraction representation.  Magnitude limits (values that would
-        overflow ``int64``) are a property of a *run*, not of the system,
-        so they are checked by the explorer itself, not here.
+        Returns ``(ids, refs)``: ``ids`` is an identity sweep over the
+        transitions tuple, every guard inequality's expression, every
+        update assignment binding and every distribution binding, plus
+        the initial valuation *by value* — linear in the system size, no
+        arithmetic — enough to catch any shallow mutation: rebinding
+        ``transitions``, editing a guard's inequality list, swapping an
+        update expression, replacing a distribution, changing an initial
+        value.  ``refs`` holds the swept objects themselves; the cache
+        keeps them alive so a swapped-in replacement can never reuse a
+        stamped ``id`` (only ``ids`` is ever compared).  The one mutation
+        class this cannot see is *inside* a :class:`LinExpr`, and that is
+        excluded by the class's own immutability/interning contract.
         """
-        if self._integrality is None:
-            self._integrality = self._analyze_integrality()
-        return self._integrality
+        guard_exprs = tuple(
+            ineq.expr for t in self.transitions for ineq in t.guard.inequalities
+        )
+        update_bindings = tuple(
+            (name, expr)
+            for t in self.transitions
+            for f in t.forks
+            for name, expr in f.update.assignments.items()
+        )
+        dist_bindings = tuple(self.distributions.items())
+        ids = (
+            id(self.transitions),
+            tuple(id(e) for e in guard_exprs),
+            tuple((name, id(e)) for name, e in update_bindings),
+            tuple((r, id(d)) for r, d in dist_bindings),
+            tuple(self.init_valuation.items()),
+            self.init_location,
+        )
+        refs = (self.transitions, guard_exprs, update_bindings, dist_bindings)
+        return ids, refs
+
+    def __getstate__(self):
+        """Drop the integrality cache when pickling (and hence deepcopying):
+        its stamp pins *object identities* of this instance, which a copy
+        does not share — the copy recomputes the report lazily instead of
+        tripping the mutation guard."""
+        state = self.__dict__.copy()
+        state["_integrality"] = None
+        return state
+
+    def integrality(self) -> IntegralityReport:
+        """The lattice-admission report of this PTS (cached).
+
+        The report is the admission check of the int64/scaled-int64
+        exploration fast paths: ``integral`` admits the plain integer
+        lattice, ``scale`` the fixed-point one, and a ``scale`` of ``None``
+        pins exploration to the exact Fraction representation.  Magnitude
+        limits (values that would overflow ``int64``) are a property of a
+        *run*, not of the system, so they are checked by the explorer
+        itself, not here.
+
+        **Immutability contract**: PTS instances are immutable after
+        construction (class docstring), so the report is computed once and
+        cached on the instance with *no invalidation*.  Anything that
+        mutates ``transitions``/``distributions``/``init_valuation`` in
+        place would silently serve a stale admission report to the
+        explorer — so every cache hit re-checks a cheap structural stamp
+        and raises :class:`~repro.errors.ModelError` on mismatch instead.
+        """
+        if self._integrality is not None:
+            report, ids, _refs = self._integrality
+            if ids != self._structure_stamp()[0]:
+                raise ModelError(
+                    f"PTS {self.name!r} was mutated after its integrality "
+                    "report was cached; PTS instances are immutable after "
+                    "construction — build a new PTS instead"
+                )
+            return report
+        report = self._analyze_integrality()
+        ids, refs = self._structure_stamp()
+        self._integrality = (report, ids, refs)
+        return report
 
     def _analyze_integrality(self) -> IntegralityReport:
         def fractional(value: Fraction) -> bool:
             return value.denominator != 1
 
+        def non_integral(reason: str) -> IntegralityReport:
+            scale, scale_reason = self._analyze_scale()
+            return IntegralityReport(False, reason, scale, scale_reason)
+
         for v, value in self.init_valuation.items():
             if fractional(value):
-                return IntegralityReport(False, f"init {v} = {value} is not integral")
+                return non_integral(f"init {v} = {value} is not integral")
         for r, dist in self.distributions.items():
             atoms = dist.atoms()
             if atoms is None:
-                return IntegralityReport(False, f"sampling variable {r!r} is continuous")
+                return non_integral(f"sampling variable {r!r} is continuous")
             for _, value in atoms:
                 if fractional(value):
-                    return IntegralityReport(
-                        False, f"atom {value} of {r!r} is not integral"
-                    )
+                    return non_integral(f"atom {value} of {r!r} is not integral")
         for t in self.transitions:
             for ineq in t.guard.inequalities:
                 expr = ineq.expr
                 if fractional(expr.const) or any(
                     fractional(c) for _, c in expr.iter_coeffs()
                 ):
-                    return IntegralityReport(
-                        False,
-                        f"guard of {t.name!r} has non-integral coefficients",
+                    return non_integral(
+                        f"guard of {t.name!r} has non-integral coefficients"
                     )
             for f in t.forks:
                 for target, expr in f.update.assignments.items():
                     if fractional(expr.const) or any(
                         fractional(c) for _, c in expr.iter_coeffs()
                     ):
-                        return IntegralityReport(
-                            False,
-                            f"update of {target!r} in {t.name!r} is not integral",
+                        return non_integral(
+                            f"update of {target!r} in {t.name!r} is not integral"
                         )
-        return IntegralityReport(True)
+        return IntegralityReport(True, scale=(1,) * len(self.program_vars))
+
+    def _analyze_scale(self) -> Tuple[Optional[Tuple[int, ...]], str]:
+        """Per-variable denominator LCMs of the scaled (fixed-point) lattice.
+
+        Base pass: ``s_v`` collects the denominator LCM of every quantity
+        that directly lands in ``v`` — its initial value and the constants
+        of updates assigning it (with sampling draws folded in atom by
+        atom).  Propagation passes then enforce the update-coupling
+        divisibility: ``v := ... + a * u + ...`` maps the ``1/s_u``
+        lattice of ``u`` into ``v``, so ``s_v * a / s_u`` must be an
+        integer.  Guards never refine the lattice — neither constants nor
+        coefficients change a reachable value, and an inequality can
+        always be cleared by a positive per-row multiplier, which the
+        explorer picks — and fork probabilities never enter a state.
+        Returns ``(None, reason)`` when sampling is continuous, a
+        denominator exceeds ``10**6`` (contractive coefficients like
+        ``x := x/2`` refine the lattice without bound and blow through the
+        cap within a few passes), or propagation fails to stabilize within
+        the pass budget.
+        """
+        scale: Dict[str, int] = {v: 1 for v in self.program_vars}
+
+        for r, dist in self.distributions.items():
+            if dist.atoms() is None:
+                return None, f"sampling variable {r!r} is continuous"
+
+        for v, value in self.init_valuation.items():
+            scale[v] = lcm(scale[v], value.denominator)
+        for t in self.transitions:
+            for f in t.forks:
+                for target, expr in f.update.assignments.items():
+                    d = expr.const.denominator
+                    for name, coeff in expr.iter_coeffs():
+                        dist = self.distributions.get(name)
+                        if dist is not None:
+                            for _, atom in dist.atoms():
+                                d = lcm(d, (coeff * atom).denominator)
+                    scale[target] = lcm(scale[target], d)
+
+        for _ in range(_SCALE_PASSES):
+            worst = max(scale.values())
+            if worst > _SCALE_LIMIT:
+                witness = max(scale, key=scale.get)  # type: ignore[arg-type]
+                return None, (
+                    f"denominator LCM of {witness!r} exceeds the "
+                    f"{_SCALE_LIMIT} fixed-point cap"
+                )
+            changed = False
+            for t in self.transitions:
+                for f in t.forks:
+                    for target, expr in f.update.assignments.items():
+                        for name, coeff in expr.iter_coeffs():
+                            if name in self.distributions:
+                                continue
+                            # s_target * coeff / s_name must be integral
+                            p, q = coeff.numerator, coeff.denominator
+                            need = q * scale[name]
+                            need //= gcd(abs(p), need)
+                            merged = lcm(scale[target], need)
+                            if merged != scale[target]:
+                                scale[target] = merged
+                                changed = True
+            if not changed:
+                return tuple(scale[v] for v in self.program_vars), ""
+        return None, (
+            f"per-variable denominators did not stabilize within "
+            f"{_SCALE_PASSES} propagation passes"
+        )
 
     def max_fork_count(self) -> int:
         return max((len(t.forks) for t in self.transitions), default=0)

@@ -3,9 +3,10 @@
 ``act``/``actions/workflow`` are not available in the test container, so
 this is the acceptance gate for ``.github/workflows/*.yml``: every file
 must be parseable YAML with the job structure the repo's CI contract
-promises (tier-1 + smoke + lint on pushes and PRs, the non-blocking bench
-job on schedule/dispatch with the artifact upload and the
-``REPRO_BENCH_GATE_FACTOR`` knob).
+promises (tier-1 + smoke + lint + the PR-blocking explorer-parity gate on
+pushes and PRs, the non-blocking bench job on schedule/dispatch — plus
+advisory on fixpoint-touching PRs via a paths filter — with the artifact
+upload and the ``REPRO_BENCH_GATE_FACTOR`` knob).
 """
 
 from pathlib import Path
@@ -50,9 +51,10 @@ def test_all_workflows_are_valid_yaml():
 
 
 class TestCIWorkflow:
-    def test_triggers_on_push_and_pr(self):
+    def test_triggers_on_push_pr_and_dispatch(self):
         _, triggers = _load("ci.yml")
         assert "push" in triggers and "pull_request" in triggers
+        assert "workflow_dispatch" in triggers
 
     def test_tier1_job_runs_the_roadmap_command_on_the_python_matrix(self):
         data, _ = _load("ci.yml")
@@ -66,9 +68,22 @@ class TestCIWorkflow:
         data, _ = _load("ci.yml")
         assert "pytest -m smoke" in _steps_text(data["jobs"]["smoke"])
 
-    def test_lint_job_runs_ruff(self):
+    def test_lint_job_runs_ruff_with_a_timeout(self):
         data, _ = _load("ci.yml")
-        assert "ruff check" in _steps_text(data["jobs"]["lint"])
+        lint = data["jobs"]["lint"]
+        assert "ruff check" in _steps_text(lint)
+        assert isinstance(lint.get("timeout-minutes"), int)
+
+    def test_explorer_parity_job_gates_the_scaled_engine(self):
+        # the PR-blocking parity gate: explorer regressions must fail CI,
+        # not wait for the nightly non-blocking bench run
+        data, _ = _load("ci.yml")
+        job = data["jobs"]["explorer-parity"]
+        text = _steps_text(job)
+        assert "tools/check_explorer_parity.py" in text
+        # blocking by construction: no continue-on-error anywhere in the job
+        assert not job.get("continue-on-error")
+        assert all(not s.get("continue-on-error") for s in job["steps"])
 
     def test_pip_caching_is_enabled(self):
         data, _ = _load("ci.yml")
@@ -83,10 +98,16 @@ class TestCIWorkflow:
 
 
 class TestBenchWorkflow:
-    def test_triggers_are_schedule_and_dispatch_only(self):
+    def test_triggers_schedule_dispatch_and_fixpoint_prs(self):
         _, triggers = _load("bench.yml")
         assert "schedule" in triggers and "workflow_dispatch" in triggers
-        assert "push" not in triggers and "pull_request" not in triggers
+        assert "push" not in triggers
+        # PRs run the bench only when they touch the exploration layers,
+        # and only through a paths filter (never the whole PR stream)
+        pr = triggers["pull_request"]
+        assert isinstance(pr, dict) and pr.get("paths")
+        assert "src/repro/core/fixpoint*.py" in pr["paths"]
+        assert "src/repro/pts/model.py" in pr["paths"]
 
     def test_bench_step_is_non_blocking_and_respects_gate_factor(self):
         data, _ = _load("bench.yml")

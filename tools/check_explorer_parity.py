@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""PR-blocking explorer-parity gate (the ``explorer-parity`` CI job).
+
+Runs small fractional workloads through ``explore="scaled"`` and
+``explore="fraction"`` and asserts the resulting models are *bit-identical*
+— state count, truncation flag, transition matrix, affine offsets, lattice
+start vectors and the (descaled) state index.  One integer-lattice workload
+rides along through ``explore="int64"`` so the plain frontier engine is
+gated too.
+
+Exploration-engine regressions used to surface only in the nightly
+non-blocking bench workflow; this script is deliberately tiny (seconds,
+no LP solver, no synthesis) so it can block every push and pull request.
+
+Exit status 0 when every workload matches bitwise, 1 otherwise (one
+diagnostic line per mismatching field).  Needs ``repro`` importable
+(``PYTHONPATH=src`` or an installed checkout).
+"""
+
+from __future__ import annotations
+
+import sys
+
+#: name -> (source, max_states, integer_mode, forced explore mode).
+#: Budgets are chosen so every workload truncates or absorbs within a few
+#: seconds while still crossing the dense/CSR boundary at least once.
+WORKLOADS = {
+    # Table 1's 3DWalk shape (0.1-steps, scale-10 lattice), truncated
+    "3dwalk-slice": (
+        "x := 10\ny := 10\nz := 10\n"
+        "while x >= 0 and y >= 0 and z >= 0:\n"
+        "    assert x + y + z <= 100\n"
+        "    if prob(0.9):\n        switch:\n"
+        "            prob(0.5): x, y := x - 1, y - 1\n"
+        "            prob(0.5): z := z - 1\n"
+        "    else:\n        switch:\n"
+        "            prob(0.5): x, y := x + 0.1, y + 0.1\n"
+        "            prob(0.5): z := z + 0.1\n",
+        4_000,
+        False,
+        "scaled",
+    ),
+    # Table 1's Robot shape (1.414 displacements, +-0.05 noise, scale 500)
+    "robot-slice": (
+        "noise ~ discrete((0.5, -0.05), (0.5, 0.05))\n"
+        "i := 0\nx := 0\nex := 0\n"
+        "while i <= 11:\n    switch:\n"
+        "        prob(0.2): i, x, ex := i + 1, x - 1.414 + noise, ex - 1.414\n"
+        "        prob(0.2): i, x, ex := i + 1, x + 1.414 + noise, ex + 1.414\n"
+        "        prob(0.2): i, x, ex := i + 1, x - 1 + noise, ex - 1\n"
+        "        prob(0.2): i, x, ex := i + 1, x + 1 + noise, ex + 1\n"
+        "        prob(0.2): i, x, ex := i + 1, x + noise, ex\n"
+        "assert x - ex <= 1.8",
+        4_000,
+        False,
+        "scaled",
+    ),
+    # mixed lattice: integral counter + half-integer accumulator, with a
+    # guard boundary hit exactly at a fractional state
+    "mixed-boundary": (
+        "i := 0\nx := 0\nwhile i <= 20 and x - 15/2 <= 0:\n"
+        "    if prob(0.5):\n        i, x := i + 1, x + 1/2\n"
+        "    else:\n        i := i + 1\n"
+        "assert x >= 8",
+        10_000,
+        False,
+        "scaled",
+    ),
+    # integer lattice control through the plain int64 frontier engine
+    "gambler-int": (
+        "x := 3\nwhile x >= 1 and x <= 9:\n    switch:\n"
+        "        prob(0.5): x := x + 1\n        prob(0.5): x := x - 1\n"
+        "assert x <= 0",
+        20_000,
+        True,
+        "int64",
+    ),
+}
+
+
+def to_dense(matrix):
+    return matrix.toarray() if hasattr(matrix, "toarray") else matrix
+
+
+def compare(name: str, fast, exact) -> list:
+    """Field-by-field bitwise comparison; returns diagnostic strings."""
+    problems = []
+    if fast.n != exact.n:
+        problems.append(f"{name}: state count {fast.n} != {exact.n}")
+    if fast.truncated != exact.truncated:
+        problems.append(f"{name}: truncated {fast.truncated} != {exact.truncated}")
+    if problems:  # shapes differ: element comparisons would just throw
+        return problems
+    if not (to_dense(fast.matrix) == to_dense(exact.matrix)).all():
+        problems.append(f"{name}: transition matrices differ")
+    for field in ("b_lower", "b_upper", "x0_lower", "x0_upper"):
+        if not (getattr(fast, field) == getattr(exact, field)).all():
+            problems.append(f"{name}: {field} differs")
+    if fast.index != exact.index:
+        problems.append(f"{name}: descaled state index differs")
+    return problems
+
+
+def main() -> int:
+    from repro.core.fixpoint import build_sparse_model
+    from repro.lang import compile_source
+
+    failures = []
+    for name, (source, max_states, integer_mode, explore) in WORKLOADS.items():
+        pts = compile_source(source, name=name, integer_mode=integer_mode).pts
+        fast = build_sparse_model(pts, max_states=max_states, explore=explore)
+        exact = build_sparse_model(pts, max_states=max_states, explore="fraction")
+        expected = "scaled-int64" if explore == "scaled" else "int64"
+        if fast.explored_via != expected:
+            failures.append(
+                f"{name}: explored via {fast.explored_via!r}, expected {expected!r}"
+            )
+        problems = compare(name, fast, exact)
+        failures.extend(problems)
+        status = "MISMATCH" if problems else "ok"
+        print(
+            f"{name:<16} {fast.explored_via:<13} states={fast.n:>6} "
+            f"truncated={str(fast.truncated):<5} {status}"
+        )
+    if failures:
+        print(f"\nexplorer parity FAILED ({len(failures)} problem(s)):")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print(f"\nexplorer parity ok: {len(WORKLOADS)} workload(s) bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
