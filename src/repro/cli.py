@@ -113,6 +113,10 @@ def _cmd_analyze(args) -> int:
             if result.details.get("termination_proved"):
                 print("  almost-sure termination proved via ranking supermartingale")
     finally:
+        # degraded executions (retries, pool rebuilds, backend switches)
+        # still produce identical results, but never silently
+        for line in engine.degradation.render():
+            print(f"note: {line}", file=sys.stderr)
         engine.close()
     return 0
 
@@ -287,7 +291,7 @@ def _cmd_selftest(args) -> int:
 
 def _cmd_workers(args) -> int:
     from repro.engine.workers import (
-        service_status,
+        service_health,
         start_service,
         stop_service,
     )
@@ -308,22 +312,47 @@ def _cmd_workers(args) -> int:
                 f"`repro workers stop` first to reconfigure)"
             )
             return 0
+        if status.get("swept_stale"):
+            print(f"swept stale state left by a crashed service in {args.dir}")
         print(
             f"worker service up: pid={status['pid']} jobs={status['jobs']} "
             f"idle_timeout={status['idle_timeout']:.0f}s dir={args.dir}"
         )
         return 0
     if args.action == "status":
-        status = service_status(args.dir)
-        if status is None:
-            print(f"worker service: down (dir={args.dir})")
+        health = service_health(args.dir)
+        state = health["state"]
+        if state == "up":
+            age = health.get("heartbeat_age")
+            heartbeat = f" heartbeat={age:.1f}s" if age is not None else ""
+            print(
+                f"worker service: up  pid={health['pid']} jobs={health['jobs']} "
+                f"uptime={health['uptime_seconds']:.0f}s "
+                f"served={health['tasks_served']} inflight={health['inflight']}"
+                f"{heartbeat} rebuilds={health.get('pool_rebuilds', 0)}"
+            )
+            if health.get("last_degradation"):
+                print(f"  last degradation: {health['last_degradation']}")
+            return 0
+        if state == "wedged":
+            age = health.get("heartbeat_age")
+            heartbeat = f"; heartbeat {age:.1f}s old" if age is not None else ""
+            print(
+                f"worker service: WEDGED  pid={health['pid']} is alive but not "
+                f"answering{heartbeat} (dir={args.dir}) — "
+                f"`repro workers stop` will signal it"
+            )
+            if health.get("last_degradation"):
+                print(f"  last degradation: {health['last_degradation']}")
+            return 2
+        if state == "stale":
+            print(
+                f"worker service: down (crashed; stale state in {args.dir} — "
+                f"the next `repro workers start` sweeps it)"
+            )
             return 1
-        print(
-            f"worker service: up  pid={status['pid']} jobs={status['jobs']} "
-            f"uptime={status['uptime_seconds']:.0f}s "
-            f"served={status['tasks_served']} inflight={status['inflight']}"
-        )
-        return 0
+        print(f"worker service: down (dir={args.dir})")
+        return 1
     # stop
     was_running = stop_service(args.dir)
     print(

@@ -28,9 +28,16 @@ import time
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 
-from repro.errors import InfeasibleError, SolverError, SynthesisError, TaskError
+from repro.errors import (
+    InfeasibleError,
+    SolverError,
+    SynthesisError,
+    TaskError,
+    TaskTimeoutError,
+)
 from repro.numeric.lp import LinearProgram
 from repro.numeric.ser import ternary_search
 from repro.polyhedra.constraints import Polyhedron
@@ -440,16 +447,26 @@ def synthesize_probe(task, deps=None, engine=None):
 class _ProbeHandle:
     """Adapter from an engine subtask future to the ``(value, assignment)``
     pair the ternary search expects; a failed probe surfaces as a
-    :class:`SynthesisError` at collection time."""
+    :class:`SynthesisError` at collection time.  The wait is bounded by
+    the subtask's deadline — a hung probe worker becomes a retryable
+    :class:`~repro.errors.TaskTimeoutError` instead of blocking the
+    search forever."""
 
-    __slots__ = ("_future", "_eps")
+    __slots__ = ("_future", "_eps", "_timeout")
 
-    def __init__(self, future, eps):
+    def __init__(self, future, eps, timeout=None):
         self._future = future
         self._eps = eps
+        self._timeout = timeout
 
     def result(self):
-        outcome = self._future.result()
+        try:
+            outcome = self._future.result(timeout=self._timeout)
+        except FuturesTimeout as exc:
+            self._future.cancel()
+            raise TaskTimeoutError(
+                f"eps-probe {self._eps!r} exceeded its {self._timeout:g}s deadline"
+            ) from exc
         if not outcome.ok:
             raise SynthesisError(f"eps-probe {self._eps!r} failed: {outcome.error}")
         return outcome.details["value"], outcome.details["assignment"]
@@ -491,8 +508,8 @@ def synthesize(task, deps=None, engine=None):
             ]
             futures = engine.submit_subtasks(subtasks)
             return [
-                _ProbeHandle(future, eps)
-                for future, eps in zip(futures, eps_values)
+                _ProbeHandle(future, eps, timeout=engine.subtask_timeout(subtask))
+                for future, eps, subtask in zip(futures, eps_values, subtasks)
             ]
 
     start = time.perf_counter()
@@ -506,6 +523,10 @@ def synthesize(task, deps=None, engine=None):
         raise TaskError(
             "worker process died while solving eps-probe LPs; the pool is gone"
         ) from exc
+    except TaskError:
+        # same for a probe that timed out or lost its worker-service socket:
+        # infrastructure failures propagate so the engine can retry them
+        raise
     except Exception as exc:
         return CertificateResult.failure(task, exc, seconds=time.perf_counter() - start)
     details = {"init_location": pts.init_location}

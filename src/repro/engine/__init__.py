@@ -18,6 +18,12 @@ Cache keys are content-derived (sha256 over algorithm, program spec,
 params, :data:`~repro.engine.task.CACHE_KEY_VERSION` and the fixpoint
 engine fingerprint), so distinct entry points share hits and stale
 artifacts from older engine versions read as misses.
+
+Execution is fault-tolerant: per-task wall-clock deadlines, a bounded
+:class:`RetryPolicy` for infrastructure failures, in-place pool
+self-healing and a graceful-degradation chain, all recorded in a
+:class:`DegradationReport` — and all exercised deterministically by the
+:mod:`repro.engine.faults` injection harness (``REPRO_FAULTS``).
 """
 
 from repro.engine.task import (
@@ -37,7 +43,17 @@ from repro.engine.scheduler import (
     shutdown_persistent_pools,
 )
 from repro.engine.cache import ResultCache
-from repro.engine.engine import ALGORITHMS, AnalysisEngine, engine_scope, execute_task
+from repro.engine.engine import (
+    ALGORITHMS,
+    DEFAULT_TASK_TIMEOUT,
+    AnalysisEngine,
+    DegradationEvent,
+    DegradationReport,
+    RetryPolicy,
+    engine_scope,
+    execute_task,
+)
+from repro.engine.faults import FaultPlan, FaultRule, InjectedFault
 
 __all__ = [
     "AnalysisTask",
@@ -55,6 +71,13 @@ __all__ = [
     "ResultCache",
     "ALGORITHMS",
     "AnalysisEngine",
+    "DEFAULT_TASK_TIMEOUT",
+    "DegradationEvent",
+    "DegradationReport",
+    "RetryPolicy",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
     "engine_scope",
     "execute_task",
 ]

@@ -1,24 +1,32 @@
 """Shared argparse wiring for entry points that own an ``AnalysisEngine``.
 
 ``repro analyze`` and the experiments runner accept the same engine
-surface (``--jobs`` / ``--cache`` / ``--workers``); keeping the argument
-definitions and the engine construction here means the two entry points
-cannot drift — in particular the ``--workers``-overrides-``--jobs``
-interaction lives in exactly one place.
+surface (``--jobs`` / ``--cache`` / ``--workers`` / ``--task-timeout`` /
+``--retries``); keeping the argument definitions and the engine
+construction here means the two entry points cannot drift — in particular
+the ``--workers``-overrides-``--jobs`` interaction and the
+graceful-degradation chain (service → fresh local pool → serial) live in
+exactly one place.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 
 __all__ = ["add_engine_args", "engine_from_args"]
 
+#: environment fallbacks for the fault-tolerance knobs, so CI and batch
+#: scripts can tighten deadlines without threading flags through wrappers
+ENV_TASK_TIMEOUT = "REPRO_TASK_TIMEOUT"
+ENV_RETRIES = "REPRO_RETRIES"
+
 
 def add_engine_args(parser, jobs_help: str) -> None:
-    """Add ``--jobs``/``--cache``/``--workers`` to ``parser``.
+    """Add the shared engine options to ``parser``.
 
     ``jobs_help`` differs per entry point (the runner fans out table
-    tasks, ``analyze`` fans out eps-probe LPs); the other two options are
+    tasks, ``analyze`` fans out eps-probe LPs); the other options are
     uniform.
     """
     from repro.engine.cache import DEFAULT_CACHE_DIR
@@ -44,11 +52,47 @@ def add_engine_args(parser, jobs_help: str) -> None:
         f"(default: {DEFAULT_WORKERS_DIR}; start it with `repro workers "
         "start`) instead of forking a fresh pool",
     )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline per engine task; an expired task is "
+        "retried like an infrastructure failure (default: env "
+        f"{ENV_TASK_TIMEOUT} or 3600; 0 disables deadlines)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-attempts per task for infrastructure failures (dead "
+        "worker, lost service socket, deadline) before degrading to a "
+        f"fallback backend (default: env {ENV_RETRIES} or 2)",
+    )
+
+
+def _env_float(name: str):
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        print(f"note: ignoring non-numeric {name}={raw!r}", file=sys.stderr)
+        return None
 
 
 def engine_from_args(args):
-    """Build the engine an entry point's parsed ``args`` describe."""
-    from repro.engine import AnalysisEngine, ResultCache, make_scheduler
+    """Build the engine an entry point's parsed ``args`` describe.
+
+    Every non-serial backend gets a degradation chain: the worker service
+    falls back to a fresh local pool and then to serial; a local pool
+    falls back to serial.  A run that would previously have died with its
+    backend now finishes (slower) and reports the degradation.
+    """
+    from repro.engine import AnalysisEngine, ResultCache, RetryPolicy, make_scheduler
+    from repro.engine.scheduler import ProcessPoolScheduler, SerialScheduler
 
     cache = ResultCache(args.cache) if args.cache else None
     if args.workers is not None and args.jobs != 1:
@@ -57,6 +101,27 @@ def engine_from_args(args):
             "ignored (size the pool with `repro workers start --jobs N`)",
             file=sys.stderr,
         )
+    scheduler = make_scheduler(args.jobs, workers_dir=args.workers)
+    if args.workers is not None:
+        fallbacks = [lambda: ProcessPoolScheduler(jobs=0), SerialScheduler]
+    elif isinstance(scheduler, SerialScheduler):
+        fallbacks = []
+    else:
+        fallbacks = [SerialScheduler]
+
+    task_timeout = args.task_timeout
+    if task_timeout is None:
+        task_timeout = _env_float(ENV_TASK_TIMEOUT)
+    retries = args.retries
+    if retries is None:
+        env_retries = _env_float(ENV_RETRIES)
+        retries = int(env_retries) if env_retries is not None else None
+    retry_policy = RetryPolicy(retries=max(0, retries)) if retries is not None else None
+
     return AnalysisEngine(
-        scheduler=make_scheduler(args.jobs, workers_dir=args.workers), cache=cache
+        scheduler=scheduler,
+        cache=cache,
+        retry_policy=retry_policy,
+        task_timeout=task_timeout,
+        fallbacks=fallbacks,
     )

@@ -67,13 +67,27 @@ def resolve_jobs(jobs: int) -> int:
 
 @runtime_checkable
 class Scheduler(Protocol):
-    """Completion-capable parallel backend over picklable work items."""
+    """Completion-capable parallel backend over picklable work items.
+
+    Fault-tolerance contract (see ``docs/ARCHITECTURE.md`` "Failure
+    semantics"): ``kind`` names the backend in degradation reports;
+    ``crash_domain`` is ``"pool"`` when one dying worker poisons every
+    in-flight future (shared-fate process pools — the engine then rebuilds
+    and requeues everything) or ``"isolated"`` when failures are per-task
+    (serial, the worker service); ``rebuild()`` discards broken execution
+    state so the next ``submit`` starts healthy, raising
+    :class:`~repro.errors.TaskError` when the backend cannot be healed.
+    """
 
     workers: int
+    kind: str
+    crash_domain: str
 
     def submit(self, fn: Callable[[T], R], item: T, width_hint: int = 1) -> "Future[R]": ...
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]: ...
+
+    def rebuild(self) -> None: ...
 
     def close(self) -> None: ...
 
@@ -97,12 +111,17 @@ class SerialScheduler:
     """Run every task in the calling process, in order."""
 
     workers = 1
+    kind = "serial"
+    crash_domain = "isolated"
 
     def submit(self, fn, item, width_hint: int = 1) -> Future:
         return _completed_future(fn, item)
 
     def map(self, fn, items):
         return [fn(item) for item in items]
+
+    def rebuild(self) -> None:
+        pass  # no execution state to heal
 
     def close(self) -> None:
         pass
@@ -121,6 +140,12 @@ class _PoolSchedulerBase:
     """Shared machinery of the process-backed schedulers: jobs resolution,
     demand-clamped lazy executor creation, futures-based submit and an
     order-preserving map.  Subclasses own executor acquisition/release."""
+
+    kind = "pool"
+    #: one dead worker breaks the whole executor: every in-flight future of
+    #: this scheduler shares its fate, so the engine requeues all of them
+    #: after a rebuild
+    crash_domain = "pool"
 
     def __init__(self, jobs: int = 0):
         self.jobs = resolve_jobs(jobs)
@@ -195,6 +220,12 @@ class _PoolSchedulerBase:
         """Forceful teardown (interrupt paths): do not wait for running
         tasks.  Default falls back to the graceful close."""
         self.close()
+
+    def rebuild(self) -> None:
+        """Self-healing hook: kill whatever executor state exists (broken
+        pools cannot be reused; hung workers must be reclaimed) and let the
+        next ``submit`` lazily fork a fresh pool."""
+        self.terminate()
 
     def __enter__(self):
         return self
@@ -279,6 +310,8 @@ class PersistentPoolScheduler(_PoolSchedulerBase):
     no-op by design; call :func:`shutdown_persistent_pools` to reclaim the
     processes (also registered ``atexit``).
     """
+
+    kind = "persistent-pool"
 
     def _live_executor(self) -> Optional[ProcessPoolExecutor]:
         return _PERSISTENT_EXECUTORS.get(self.jobs)

@@ -141,6 +141,11 @@ class AnalysisTask:
     (e.g. ExpLinSyn warm-starts from a Hoeffding certificate's state table).
     ``cacheable=False`` opts fine-grained subtasks (eps-probe LPs) out of
     the on-disk cache — their enclosing synthesis caches as a whole.
+
+    ``timeout`` is a per-task wall-clock deadline in seconds (``None``
+    defers to the engine's default, ``0`` disables).  It is *execution
+    policy*, not content: two tasks differing only in ``timeout`` mean the
+    same computation, so it is deliberately excluded from ``cache_key``.
     """
 
     algorithm: str
@@ -149,6 +154,7 @@ class AnalysisTask:
     task_id: str = ""
     depends_on: Tuple[str, ...] = ()
     cacheable: bool = True
+    timeout: Optional[float] = None
 
     def __post_init__(self):
         if not self.task_id:
@@ -162,6 +168,7 @@ class AnalysisTask:
         task_id: str = "",
         depends_on: Tuple[str, ...] = (),
         cacheable: bool = True,
+        timeout: Optional[float] = None,
     ) -> "AnalysisTask":
         return AnalysisTask(
             algorithm=algorithm,
@@ -172,6 +179,7 @@ class AnalysisTask:
             # outstanding slot per distinct dependency
             depends_on=tuple(dict.fromkeys(depends_on)),
             cacheable=cacheable,
+            timeout=timeout,
         )
 
     def param(self, name: str, default: Any = None) -> Any:

@@ -16,13 +16,33 @@ The service is deliberately small and self-limiting:
   ready-set width;
 * an **idle timeout** (default 300 s) shuts the daemon down after a quiet
   period, so a forgotten ``workers start`` cannot squat on the machine;
-* state lives in one directory (socket, pidfile, metadata, log) with mode
-  ``0700`` — the socket is reachable only by the owning user, which is the
-  whole authentication story, exactly like ssh-agent's.
+* state lives in one directory (socket, pidfile, metadata, heartbeat, log)
+  with mode ``0700`` — the socket is reachable only by the owning user,
+  which is the whole authentication story, exactly like ssh-agent's.
+
+Fault tolerance (see ``docs/ARCHITECTURE.md`` "Failure semantics"):
+
+* the daemon writes a **heartbeat file** every :data:`HEARTBEAT_INTERVAL`
+  seconds (JSON: timestamp, pid, in-flight count, rebuild count, last
+  degradation).  Clients waiting on a task poll pid liveness and heartbeat
+  age instead of blocking forever on ``recv`` — a daemon that is SIGKILLed
+  mid-task surfaces as a retryable :class:`~repro.errors.TaskError` within
+  a poll interval, and a wedged daemon (pid alive, heartbeat stale) within
+  a few heartbeat intervals;
+* the daemon **self-heals** its pool: a ``BrokenProcessPool`` swaps in a
+  fresh executor (capped by ``max_pool_rebuilds``) and tells the affected
+  clients to resubmit, instead of committing suicide on the first broken
+  worker.  Only an exhausted rebuild budget takes the service down;
+* ``repro workers start`` **sweeps stale state** (socket/pid/meta left by
+  a crashed daemon) before starting, so a crash never wedges the next
+  start;
+* :func:`service_health` classifies the directory as ``up`` / ``down`` /
+  ``wedged`` / ``stale`` for ``repro workers status``.
 
 Protocol (client -> server): ``("ping",)`` -> status dict;
-``("run", fn, item)`` -> ``("ok", result)`` | ``("error", repr)``;
-``("stop",)`` -> ``("ok", "stopping")`` and the service exits.
+``("run", fn, item)`` -> ``("ok", result)`` | ``("error", repr)`` |
+``("broken", repr)``; ``("stop",)`` -> ``("ok", "stopping")`` and the
+service exits.
 """
 
 from __future__ import annotations
@@ -30,34 +50,50 @@ from __future__ import annotations
 import json
 import os
 import signal
+import socket
 import threading
 import time
 import traceback
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from multiprocessing.connection import Client, Listener
+from multiprocessing.connection import Connection, Listener
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.errors import TaskError
+from repro.engine import faults
 from repro.engine.scheduler import resolve_jobs
 
 __all__ = [
     "DEFAULT_WORKERS_DIR",
     "DEFAULT_IDLE_TIMEOUT",
+    "HEARTBEAT_INTERVAL",
     "ServiceScheduler",
     "WorkerService",
+    "read_heartbeat",
+    "service_health",
     "service_status",
     "start_service",
     "stop_service",
+    "sweep_stale_service",
 ]
 
 DEFAULT_WORKERS_DIR = ".repro_workers"
 DEFAULT_IDLE_TIMEOUT = 300.0
 
+#: how often the daemon's watchdog thread refreshes the heartbeat file
+HEARTBEAT_INTERVAL = 1.0
+#: a heartbeat older than this many intervals means the daemon is wedged
+STALE_HEARTBEAT_FACTOR = 3.0
+#: how often a client waiting on a task re-checks daemon liveness
+_POLL_INTERVAL = 0.25
+#: pool rebuilds the daemon will attempt before giving up and exiting
+DEFAULT_MAX_POOL_REBUILDS = 3
+
 _SOCKET = "service.sock"
 _PIDFILE = "service.pid"
 _META = "service.json"
+_HEARTBEAT = "service.heartbeat"
 _LOG = "service.log"
 
 
@@ -68,6 +104,7 @@ def _paths(directory) -> Dict[str, Path]:
         "socket": base / _SOCKET,
         "pid": base / _PIDFILE,
         "meta": base / _META,
+        "heartbeat": base / _HEARTBEAT,
         "log": base / _LOG,
     }
 
@@ -80,14 +117,19 @@ class WorkerService:
         directory=DEFAULT_WORKERS_DIR,
         jobs: int = 0,
         idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+        max_pool_rebuilds: int = DEFAULT_MAX_POOL_REBUILDS,
     ):
         self.paths = _paths(directory)
         self.jobs = resolve_jobs(jobs)
         self.idle_timeout = float(idle_timeout)
+        self.max_pool_rebuilds = int(max_pool_rebuilds)
         self.started = time.time()
         self.tasks_served = 0
         self._inflight = 0
+        self._pool_rebuilds = 0
+        self._last_degradation = ""
         self._lock = threading.Lock()
+        self._exec_lock = threading.Lock()  # serializes executor swaps
         self._last_activity = time.monotonic()
         self._stop = threading.Event()
         self._listener: Optional[Listener] = None
@@ -110,12 +152,19 @@ class WorkerService:
                 )
             socket_path.unlink()
         self._executor = ProcessPoolExecutor(max_workers=self.jobs)
-        self._listener = Listener(str(socket_path), family="AF_UNIX")
+        # a roomy backlog: a burst of engine clients plus a control ping
+        # must never park a connect() in the kernel waiting for accept
+        self._listener = Listener(str(socket_path), family="AF_UNIX", backlog=16)
         self.paths["pid"].write_text(f"{os.getpid()}\n")
         self.paths["meta"].write_text(
             json.dumps(
                 {
                     "pid": os.getpid(),
+                    # start_service daemonizes with start_new_session, so
+                    # pgid == pid marks a daemon whose process group holds
+                    # only it and its pool workers — what the stale-state
+                    # sweeper may safely kill after a crash
+                    "pgid": os.getpgid(0),
                     "jobs": self.jobs,
                     "idle_timeout": self.idle_timeout,
                     "started": self.started,
@@ -123,6 +172,9 @@ class WorkerService:
             )
             + "\n"
         )
+        # the first heartbeat lands before the first accept: a client must
+        # never observe "socket up, no heartbeat yet"
+        self._write_heartbeat()
         try:  # SIGTERM (repro workers stop's fallback) exits cleanly too
             signal.signal(signal.SIGTERM, lambda *_: self._request_stop())
         except ValueError:  # not the main thread (embedded/foreground use)
@@ -158,7 +210,7 @@ class WorkerService:
         """
         self._stop.set()
         try:
-            with Client(str(self.paths["socket"]), family="AF_UNIX"):
+            with _connect(self.paths["socket"], timeout=1.0):
                 pass
         except OSError:
             pass
@@ -177,21 +229,45 @@ class WorkerService:
         # only reap state files this process owns — a daemon that lost a
         # start race must not delete the winner's socket on its way out
         if _read_pid(self.paths) in (os.getpid(), None):
-            for name in ("socket", "pid", "meta"):
+            for name in ("socket", "pid", "meta", "heartbeat"):
                 try:
                     self.paths[name].unlink()
                 except OSError:
                     pass
 
     def _watchdog(self) -> None:
-        if self.idle_timeout <= 0:
-            return  # never time out — no point polling
-        while not self._stop.wait(min(1.0, max(0.05, self.idle_timeout / 10))):
+        """Heartbeat writer + idle-timeout enforcement, one thread."""
+        tick = HEARTBEAT_INTERVAL
+        if self.idle_timeout > 0:
+            tick = min(tick, max(0.05, self.idle_timeout / 10))
+        while not self._stop.wait(tick):
+            self._write_heartbeat()
+            if self.idle_timeout <= 0:
+                continue  # never time out; only keep the heartbeat fresh
             with self._lock:
                 busy = self._inflight > 0
             if not busy and time.monotonic() - self._last_activity > self.idle_timeout:
                 self._request_stop()
                 return
+
+    def _write_heartbeat(self) -> None:
+        """Atomically refresh the liveness file clients poll mid-task."""
+        with self._lock:
+            payload = {
+                "time": time.time(),
+                "pid": os.getpid(),
+                "interval": HEARTBEAT_INTERVAL,
+                "inflight": self._inflight,
+                "tasks_served": self.tasks_served,
+                "pool_rebuilds": self._pool_rebuilds,
+                "last_degradation": self._last_degradation,
+            }
+        tmp = self.paths["heartbeat"].with_suffix(".tmp")
+        try:
+            tmp.write_text(json.dumps(payload) + "\n")
+            os.replace(tmp, self.paths["heartbeat"])
+        except OSError:  # disk hiccups must not kill the watchdog
+            pass
 
     def _touch(self) -> None:
         # only task traffic counts as activity: a status ping must not keep
@@ -223,8 +299,11 @@ class WorkerService:
                     return
                 elif kind == "run":
                     self._touch()
-                    self._send_safe(conn, self._run(message[1], message[2]))
+                    reply = self._run(message[1], message[2])
                     self._touch()
+                    if _drop_reply_injected(message[2]):
+                        return  # chaos: result computed, reply never sent
+                    self._send_safe(conn, reply)
                 else:
                     self._send_safe(conn, ("error", f"unknown request {kind!r}"))
         except Exception:  # keep the daemon alive; log for service.log
@@ -252,17 +331,14 @@ class WorkerService:
     def _run(self, fn, item):
         with self._lock:
             self._inflight += 1
-        executor = self._executor  # snapshot: shutdown() may null it mid-race
+        executor = self._executor  # snapshot: a swap may race mid-task
         try:
             if executor is None or self._stop.is_set():
                 return ("error", "service is stopping; resubmit after restart")
             future = executor.submit(fn, item)
             return ("ok", future.result())
         except BrokenProcessPool as exc:
-            # the pool is unrecoverable: report, then die so the next
-            # `workers start` begins from a healthy state
-            self._request_stop()
-            return ("broken", repr(exc))
+            return self._heal_pool(executor, exc)
         except Exception as exc:
             return ("error", repr(exc))
         finally:
@@ -270,9 +346,47 @@ class WorkerService:
                 self._inflight -= 1
                 self.tasks_served += 1
 
+    def _heal_pool(self, broken, exc):
+        """A worker died and took the shared pool with it: swap in a fresh
+        executor (first thread to notice wins; the rest observe the swap)
+        and tell the client to resubmit.  Only an exhausted rebuild budget
+        still takes the daemon down — the pre-healing behavior."""
+        with self._exec_lock:
+            if self._executor is None or self._stop.is_set():
+                return ("error", "service is stopping; resubmit after restart")
+            if self._executor is broken:
+                if self._pool_rebuilds >= self.max_pool_rebuilds:
+                    with self._lock:
+                        self._last_degradation = (
+                            f"pool rebuild budget ({self.max_pool_rebuilds}) "
+                            f"exhausted: {exc!r}"
+                        )
+                    self._write_heartbeat()
+                    self._request_stop()
+                    return ("broken", repr(exc))
+                broken.shutdown(wait=False, cancel_futures=True)
+                self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+                with self._lock:
+                    self._pool_rebuilds += 1
+                    self._last_degradation = (
+                        f"worker pool rebuilt "
+                        f"({self._pool_rebuilds}/{self.max_pool_rebuilds}) "
+                        f"after: {exc!r}"
+                    )
+                self._write_heartbeat()
+            with self._lock:
+                rebuilds = self._pool_rebuilds
+        return (
+            "error",
+            f"worker pool broke mid-task and was rebuilt "
+            f"(rebuild #{rebuilds}); resubmit",
+        )
+
     def _status(self) -> Dict[str, Any]:
         with self._lock:
             inflight = self._inflight
+            rebuilds = self._pool_rebuilds
+            degradation = self._last_degradation
         return {
             "pid": os.getpid(),
             "jobs": self.jobs,
@@ -280,19 +394,63 @@ class WorkerService:
             "uptime_seconds": time.time() - self.started,
             "tasks_served": self.tasks_served,
             "inflight": inflight,
+            "pool_rebuilds": rebuilds,
+            "last_degradation": degradation,
         }
+
+
+def _drop_reply_injected(item) -> bool:
+    """Chaos hook: drop the reply for engine payloads a fault rule names.
+
+    The attempt index rides in the payload (``(task, deps, attempt)``), so
+    whether a reply is dropped is a pure function of the installed plan —
+    the daemon keeps no injection state, and a retried attempt with a
+    higher index sails through.  Non-engine payloads never match.
+    """
+    plan = faults.active_plan()
+    if plan is None or not plan.rules:
+        return False
+    try:
+        task, _deps, attempt = item
+        key = task.task_id
+        attempt = int(attempt)
+    except (TypeError, ValueError, AttributeError):
+        return False
+    return plan.rule_for("service.drop_reply", key, attempt) is not None
 
 
 # -- client side ------------------------------------------------------------------
 
 
+def _connect(socket_path, timeout: float) -> Connection:
+    """Connect to the service socket with a time bound.
+
+    A plain ``Client()`` connect has no timeout, and a connect to a stale
+    socket can *block in the kernel*, not fail: pool workers forked by a
+    SIGKILLed daemon still hold an inherited copy of the listening socket
+    fd, so connects succeed into an accept backlog nobody will ever
+    drain — and once it fills, further connects hang forever, before any
+    ``poll()`` bound applies.  A socket-level timeout turns that into an
+    ``OSError`` callers already treat as "nothing is listening"."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        sock.settimeout(timeout)
+        sock.connect(str(socket_path))
+        sock.setblocking(True)  # Connection expects a plain blocking fd
+        return Connection(sock.detach())
+    except BaseException:
+        sock.close()
+        raise
+
+
 def _request(directory, message, timeout: float = 5.0):
-    """One round-trip to the service; ``None`` when nothing is listening."""
+    """One bounded round-trip to the service for *control* messages
+    (ping/stop); ``None`` when nothing is listening or nothing answers."""
     socket_path = _paths(directory)["socket"]
     if not socket_path.exists():
         return None
     try:
-        with Client(str(socket_path), family="AF_UNIX") as conn:
+        with _connect(socket_path, timeout) as conn:
             conn.send(message)
             if not conn.poll(timeout):
                 return None
@@ -301,10 +459,157 @@ def _request(directory, message, timeout: float = 5.0):
         return None
 
 
+def _pid_alive(pid: Optional[int]) -> bool:
+    if pid is None:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        pass  # EPERM and friends: something owns the pid — call it alive
+    return True
+
+
+def _liveness_error(paths) -> Optional[str]:
+    """Why a client should stop waiting on the daemon, or ``None``.
+
+    Death detection is the fast path: a missing pidfile or dead pid is
+    conclusive.  A live pid with a stale heartbeat means the daemon is
+    wedged (stopped, deadlocked) — conclusive too, after
+    :data:`STALE_HEARTBEAT_FACTOR` missed beats.  A missing heartbeat with
+    a live pid is indeterminate (startup race) and keeps the wait going.
+    """
+    pid = _read_pid(paths)
+    if pid is None:
+        return (
+            f"worker service in {str(paths['dir'])!r} died mid-task "
+            f"(pidfile gone)"
+        )
+    if not _pid_alive(pid):
+        return f"worker service (pid {pid}) died mid-task"
+    heartbeat = read_heartbeat(paths["dir"])
+    if heartbeat is not None:
+        interval = float(heartbeat.get("interval", HEARTBEAT_INTERVAL)) or HEARTBEAT_INTERVAL
+        age = time.time() - float(heartbeat.get("time", 0.0))
+        if age > STALE_HEARTBEAT_FACTOR * interval:
+            return (
+                f"worker service (pid {pid}) is wedged: heartbeat is "
+                f"{age:.1f}s old (interval {interval:g}s)"
+            )
+    return None
+
+
+def read_heartbeat(directory=DEFAULT_WORKERS_DIR) -> Optional[Dict[str, Any]]:
+    """The daemon's last heartbeat payload, or ``None``."""
+    try:
+        return json.loads(_paths(directory)["heartbeat"].read_text())
+    except (OSError, ValueError):
+        return None
+
+
 def service_status(directory=DEFAULT_WORKERS_DIR) -> Optional[Dict[str, Any]]:
     """Status dict of the service at ``directory``, or ``None`` if down."""
     status = _request(directory, ("ping",))
     return status if isinstance(status, dict) else None
+
+
+def service_health(directory=DEFAULT_WORKERS_DIR) -> Dict[str, Any]:
+    """Classify the service directory for ``repro workers status``.
+
+    ``state`` is one of:
+
+    * ``"up"`` — the daemon answered a ping; heartbeat fields attached;
+    * ``"down"`` — no state files at all: nothing was ever started (or a
+      clean stop reaped everything);
+    * ``"wedged"`` — the pid is alive but the daemon is not answering
+      (and/or its heartbeat is stale): it holds the socket but serves
+      nothing.  ``repro workers status`` exits non-zero on this;
+    * ``"stale"`` — state files remain but the pid is dead: a crashed
+      daemon; the next ``repro workers start`` sweeps it.
+    """
+    paths = _paths(directory)
+    status = _request(directory, ("ping",), timeout=2.0)
+    if isinstance(status, dict):
+        out = dict(status)
+        out["state"] = "up"
+        heartbeat = read_heartbeat(directory)
+        if heartbeat is not None:
+            out["heartbeat_age"] = max(0.0, time.time() - float(heartbeat.get("time", 0.0)))
+            out.setdefault("pool_rebuilds", heartbeat.get("pool_rebuilds", 0))
+            out.setdefault("last_degradation", heartbeat.get("last_degradation", ""))
+        return out
+    pid = _read_pid(paths)
+    if pid is None and not paths["socket"].exists():
+        return {"state": "down", "dir": str(directory)}
+    if _pid_alive(pid):
+        heartbeat = read_heartbeat(directory) or {}
+        age = None
+        if "time" in heartbeat:
+            age = max(0.0, time.time() - float(heartbeat["time"]))
+        return {
+            "state": "wedged",
+            "dir": str(directory),
+            "pid": pid,
+            "heartbeat_age": age,
+            "last_degradation": heartbeat.get("last_degradation", ""),
+        }
+    return {"state": "stale", "dir": str(directory), "pid": pid}
+
+
+def _kill_orphan_workers(paths, pid: Optional[int]) -> None:
+    """SIGKILL what remains of a dead daemon's process group.
+
+    Pool workers forked by the daemon survive its SIGKILL: they squat on
+    their imports' memory and — worse — on an inherited copy of the
+    listening socket fd, which keeps the stale socket accepting connects
+    nobody will ever serve.  When ``start_service`` spawned the daemon it
+    made it a session/group leader (``pgid == pid``, recorded in the meta
+    file), so once that pid is dead the group holds exactly the orphans
+    and killing it is precise.  A daemon run by hand in the caller's own
+    group records a foreign pgid and is skipped.
+    """
+    if pid is None:
+        return
+    try:
+        pgid = int(json.loads(paths["meta"].read_text())["pgid"])
+    except (OSError, ValueError, TypeError, KeyError):
+        return
+    if pgid != pid:
+        return
+    try:
+        os.killpg(pgid, signal.SIGKILL)
+    except (OSError, ProcessLookupError):
+        pass
+
+
+def sweep_stale_service(directory=DEFAULT_WORKERS_DIR) -> bool:
+    """Reap state files (and orphaned pool workers) left by a *crashed*
+    daemon.
+
+    Returns True when something was swept.  A live daemon (answers pings)
+    and a wedged one (pid alive, not answering) are both left alone — the
+    first needs no help and the second owns a real process that ``repro
+    workers stop`` should signal; sweeping its socket out from under it
+    would orphan it.
+    """
+    paths = _paths(directory)
+    if not (paths["socket"].exists() or paths["pid"].exists()):
+        return False
+    if _request(directory, ("ping",)) is not None:
+        return False
+    pid = _read_pid(paths)
+    if _pid_alive(pid):
+        return False
+    _kill_orphan_workers(paths, pid)
+    swept = False
+    for name in ("socket", "pid", "meta", "heartbeat"):
+        try:
+            paths[name].unlink()
+            swept = True
+        except OSError:
+            pass
+    return swept
 
 
 def stop_service(directory=DEFAULT_WORKERS_DIR, wait_seconds: float = 5.0) -> bool:
@@ -321,7 +626,7 @@ def stop_service(directory=DEFAULT_WORKERS_DIR, wait_seconds: float = 5.0) -> bo
             os.kill(pid, signal.SIGTERM)
         except (OSError, ProcessLookupError):
             pass
-    for name in ("socket", "pid", "meta"):
+    for name in ("socket", "pid", "meta", "heartbeat"):
         try:
             paths[name].unlink()
         except OSError:
@@ -345,11 +650,14 @@ def start_service(
 ) -> Dict[str, Any]:
     """Start the service; returns the running service's status dict.
 
-    Starting twice is a no-op that returns the live service's status.  The
-    daemon is a *fresh interpreter* (a detached ``python -m repro workers
-    start --foreground`` in its own session), not a fork of the caller —
-    forking a long-lived server out of an arbitrary multi-threaded parent
-    (pytest, a notebook) inherits lock state no daemon should carry.
+    Starting twice is a no-op that returns the live service's status.
+    Stale state from a crashed daemon is swept first (reported as
+    ``"swept_stale"`` in the result), so a crash never wedges the next
+    start.  The daemon is a *fresh interpreter* (a detached ``python -m
+    repro workers start --foreground`` in its own session), not a fork of
+    the caller — forking a long-lived server out of an arbitrary
+    multi-threaded parent (pytest, a notebook) inherits lock state no
+    daemon should carry.
     """
     import subprocess
     import sys
@@ -360,6 +668,7 @@ def start_service(
         # service may not have — flag it so the CLI can say so
         existing["already_running"] = True
         return existing
+    swept = sweep_stale_service(directory)
     if foreground:
         WorkerService(directory, jobs=jobs, idle_timeout=idle_timeout).serve()
         return {"pid": os.getpid(), "jobs": resolve_jobs(jobs), "exited": True}
@@ -398,6 +707,8 @@ def start_service(
     while time.monotonic() < deadline:
         status = service_status(directory)
         if status is not None:
+            if swept:
+                status["swept_stale"] = True
             return status
         time.sleep(0.05)
     raise TaskError(
@@ -414,7 +725,19 @@ class ServiceScheduler:
     local futures — the engine's completion loop cannot tell the
     difference.  ``close()`` leaves the daemon warm for the next CLI
     invocation; that is the point.
+
+    A ``BrokenProcessPool`` inside the daemon is the *daemon's* problem
+    (it self-heals); what clients see is at worst a retryable
+    :class:`~repro.errors.TaskError`, hence ``crash_domain="isolated"`` —
+    one task's failure says nothing about the other in-flight tasks.
+    While waiting for a result, the client thread polls daemon liveness
+    (pid + heartbeat age) every :data:`_POLL_INTERVAL` seconds instead of
+    blocking forever, so a daemon killed mid-task fails the task within a
+    poll tick rather than hanging the engine.
     """
+
+    kind = "service"
+    crash_domain = "isolated"
 
     def __init__(self, directory=DEFAULT_WORKERS_DIR):
         self.directory = directory
@@ -426,12 +749,22 @@ class ServiceScheduler:
             )
         self.workers = int(status["jobs"])
 
+    def rebuild(self) -> None:
+        """The daemon heals its own pool; a client-side rebuild is just a
+        liveness re-check so the engine's healing path fails loudly when
+        the daemon is truly gone."""
+        if service_status(self.directory) is None:
+            raise TaskError(
+                f"worker service in {str(self.directory)!r} is gone; "
+                f"restart it with `repro workers start`"
+            )
+
     def _roundtrip(self, fn, item, future: Future) -> None:
         try:
-            reply = _request(self.directory, ("run", fn, item), timeout=None)
+            reply = self._bounded_request(("run", fn, item))
         except BaseException as exc:
             # never let this thread die with the future pending — the
-            # engine's completion wait() has no timeout and would hang
+            # engine's completion wait would outlast the daemon
             if future.set_running_or_notify_cancel():
                 future.set_exception(exc)
             return
@@ -452,6 +785,28 @@ class ServiceScheduler:
             )
         else:
             future.set_exception(TaskError(f"worker service error: {reply[1]}"))
+
+    def _bounded_request(self, message):
+        """A task round-trip whose wait is bounded by liveness polling.
+
+        Returns the reply, ``None`` when the connection dropped (socket
+        gone / EOF), or raises :class:`TaskError` when the daemon died or
+        wedged mid-wait.  Task deadlines are the engine's job; this layer
+        only guarantees the wait ends when the *daemon* does.
+        """
+        paths = _paths(self.directory)
+        if not paths["socket"].exists():
+            return None
+        try:
+            with _connect(paths["socket"], timeout=5.0) as conn:
+                conn.send(message)
+                while not conn.poll(_POLL_INTERVAL):
+                    stalled = _liveness_error(paths)
+                    if stalled is not None:
+                        raise TaskError(stalled)
+                return conn.recv()
+        except (OSError, EOFError):
+            return None
 
     def submit(self, fn, item, width_hint: int = 1) -> Future:
         future: Future = Future()

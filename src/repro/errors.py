@@ -64,4 +64,14 @@ class EngineError(ReproError):
 class TaskError(EngineError):
     """A task could not be executed for infrastructure reasons — a worker
     process died mid-task, or the worker service vanished.  Distinct from a
-    synthesis failure, which is recorded as a ``status="error"`` result."""
+    synthesis failure, which is recorded as a ``status="error"`` result.
+    Infrastructure failures are retryable (see
+    :class:`~repro.engine.engine.RetryPolicy`); synthesis failures are
+    deterministic and fail fast."""
+
+
+class TaskTimeoutError(TaskError):
+    """A task exceeded its wall-clock deadline (``AnalysisTask.timeout`` or
+    the engine default).  Classified as infrastructure — a deadline says
+    nothing about whether the computation would eventually have produced a
+    certificate — so it is retryable like a dead worker."""

@@ -96,6 +96,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("\n== Tables 3-5: symbolic bounds ==")
             print(format_symbolic(rows3))
     finally:
+        # a degraded run (retries, pool rebuilds, backend switches) still
+        # prints identical tables, but never silently
+        for line in engine.degradation.render():
+            print(f"note: {line}", file=sys.stderr)
         engine.close()
     print(f"\ntotal {time.perf_counter() - start:.1f}s")
     if cache is not None:

@@ -3,10 +3,11 @@
 ``act``/``actions/workflow`` are not available in the test container, so
 this is the acceptance gate for ``.github/workflows/*.yml``: every file
 must be parseable YAML with the job structure the repo's CI contract
-promises (tier-1 + smoke + lint + the PR-blocking explorer-parity gate on
-pushes and PRs, the non-blocking bench job on schedule/dispatch — plus
-advisory on fixpoint-touching PRs via a paths filter — with the artifact
-upload and the ``REPRO_BENCH_GATE_FACTOR`` knob).
+promises (tier-1 + smoke + lint + the PR-blocking explorer-parity and
+chaos fault-injection gates on pushes and PRs, the non-blocking bench job
+on schedule/dispatch — plus advisory on fixpoint-touching PRs via a paths
+filter — with the artifact upload and the ``REPRO_BENCH_GATE_FACTOR``
+knob).
 """
 
 from pathlib import Path
@@ -81,6 +82,19 @@ class TestCIWorkflow:
         job = data["jobs"]["explorer-parity"]
         text = _steps_text(job)
         assert "tools/check_explorer_parity.py" in text
+        # blocking by construction: no continue-on-error anywhere in the job
+        assert not job.get("continue-on-error")
+        assert all(not s.get("continue-on-error") for s in job["steps"])
+
+    def test_chaos_job_gates_the_fault_injection_suite(self):
+        # the PR-blocking chaos gate: fault-tolerance regressions (hangs,
+        # lost retries, non-deterministic recovery) must fail CI
+        data, _ = _load("ci.yml")
+        job = data["jobs"]["chaos"]
+        text = _steps_text(job)
+        assert "pytest -m chaos" in text
+        # a wedged daemon must fail the job, not stall CI forever
+        assert isinstance(job.get("timeout-minutes"), int)
         # blocking by construction: no continue-on-error anywhere in the job
         assert not job.get("continue-on-error")
         assert all(not s.get("continue-on-error") for s in job["steps"])

@@ -1,0 +1,582 @@
+"""Deterministic fault injection and the engine's fault-tolerance layer.
+
+Two tiers live here:
+
+* plain unit tests of the :mod:`repro.engine.faults` harness itself
+  (parsing, matching, the worker-kill safety gate) — these run everywhere;
+* ``@pytest.mark.chaos`` tests that *provoke* every failure mode the
+  engine promises to absorb — worker kills, transient faults, deadlines,
+  pool-rebuild exhaustion, a SIGKILLed worker-service daemon, dropped
+  service replies — and assert the two load-bearing properties of
+  ``docs/ARCHITECTURE.md`` "Failure semantics":
+
+  1. **no unbounded waits**: every provoked failure surfaces or recovers
+     within seconds;
+  2. **retry determinism**: a fault-forced retry produces results
+     canonically identical (all fields except wall-clock ``seconds`` and
+     the ``cached`` flag) to a fault-free serial run, including the
+     on-disk cache entries it leaves behind.
+
+Determinism notes: fault rules fire on (task_id substring, attempt index)
+only, and attempt indices travel in the submitted payload, so which
+attempts fail is a pure function of the plan.  Kill-target tasks are
+listed *first* in their DAGs: broken in-flight futures settle in
+submission order, so the faulting task — not an innocent bystander — is
+deterministically the one charged with the attempt.
+"""
+
+import os
+import signal
+import subprocess
+import time
+from dataclasses import asdict
+
+import pytest
+
+from repro.errors import EngineError, TaskError, TaskTimeoutError
+from repro.engine import (
+    AnalysisEngine,
+    AnalysisTask,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    ProcessPoolScheduler,
+    ProgramSpec,
+    ResultCache,
+    RetryPolicy,
+    SerialScheduler,
+)
+from repro.engine.faults import ENV_VAR, active_plan, task_boundary
+from repro.engine.task import CertificateResult
+
+SPEC = ProgramSpec.from_source("x := 0\nassert false", name="faults-dummy")
+
+RACE_SOURCE = """\
+x := 40
+y := 0
+while x <= 99 and y <= 99:
+    if prob(0.5):
+        x, y := x + 1, y + 2
+    else:
+        x := x + 1
+assert x >= 100
+"""
+
+
+# -- helper algorithm (module-level: pool workers resolve it by name) -------------
+
+
+def synthesize_value(task, deps=None, engine=None):
+    """Pure function of its params (plus an optional sleep), so canonical
+    equality across backends/retries is a meaningful assertion."""
+    time.sleep(float(task.param("sleep", 0.0)))
+    x = float(task.param("x", 1.0))
+    return CertificateResult(
+        algorithm=task.algorithm,
+        status="ok",
+        log_bound=3.0 * x,
+        details={"x": x, "deps_seen": sorted(deps or {})},
+    )
+
+
+@pytest.fixture
+def scratch_algorithms():
+    from repro.engine import engine as engine_mod
+
+    added = {"t_value": "test_faults:synthesize_value"}
+    engine_mod.ALGORITHMS.update(added)
+    yield
+    for name in added:
+        engine_mod.ALGORITHMS.pop(name, None)
+        engine_mod._RESOLVED.pop(name, None)
+
+
+def _value_task(task_id, x=1.0, sleep=0.0, depends_on=(), cacheable=False):
+    return AnalysisTask.make(
+        "t_value",
+        SPEC,
+        params={"x": x, "sleep": sleep, "tag": task_id},
+        task_id=task_id,
+        depends_on=depends_on,
+        cacheable=cacheable,
+    )
+
+
+def canon(result):
+    """Everything but wall-clock: the bit-identity comparison form."""
+    data = asdict(result)
+    data.pop("seconds")
+    data.pop("cached")
+    return data
+
+
+def _serial_baseline(tasks, cache=None):
+    engine = AnalysisEngine(SerialScheduler(), cache=cache)
+    try:
+        return {tid: canon(r) for tid, r in engine.run(tasks).items()}
+    finally:
+        engine.close()
+
+
+# -- the harness itself -----------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_spec_round_trip(self):
+        plan = FaultPlan(
+            [
+                FaultRule("worker.kill", match="victim", times=2),
+                FaultRule("task.latency", delay=1.5),
+            ],
+            seed=7,
+        )
+        parsed = FaultPlan.parse(plan.to_spec())
+        assert parsed.seed == 7
+        assert parsed.rules == plan.rules
+
+    def test_unknown_site_is_rejected(self):
+        with pytest.raises(EngineError, match="unknown fault site"):
+            FaultRule("task.meteor")
+
+    def test_nonpositive_times_is_rejected(self):
+        with pytest.raises(EngineError, match="times must be >= 1"):
+            FaultRule("task.transient", times=0)
+
+    def test_malformed_specs_are_loud(self):
+        with pytest.raises(EngineError, match="not valid JSON"):
+            FaultPlan.parse("{nope")
+        with pytest.raises(EngineError, match="must be an object"):
+            FaultPlan.parse('["task.transient"]')
+        with pytest.raises(EngineError, match="missing 'site'"):
+            FaultPlan.parse('{"rules": [{"match": "x"}]}')
+
+    def test_rules_fire_on_match_and_attempt_only(self):
+        rule = FaultRule("task.transient", match="victim", times=2)
+        assert rule.applies("the-victim-task", 0)
+        assert rule.applies("the-victim-task", 1)
+        assert not rule.applies("the-victim-task", 2)  # attempts exhausted
+        assert not rule.applies("bystander", 0)  # no substring match
+        assert FaultRule("task.transient").applies("anything", 0)  # "*"
+
+    def test_installed_sets_and_restores_env(self):
+        plan = FaultPlan([FaultRule("task.transient")])
+        assert os.environ.get(ENV_VAR) is None
+        with plan.installed():
+            assert active_plan() is not None
+            assert active_plan().rules == plan.rules
+        assert os.environ.get(ENV_VAR) is None
+        assert active_plan() is None
+
+    def test_task_boundary_is_a_noop_without_a_plan(self):
+        task_boundary("anything", 0)  # must not raise
+
+    def test_task_boundary_raises_transient_on_injected_attempts(self):
+        plan = FaultPlan([FaultRule("task.transient", match="victim", times=1)])
+        with plan.installed():
+            with pytest.raises(InjectedFault, match="attempt 0"):
+                task_boundary("victim", 0)
+            task_boundary("victim", 1)  # the retry sails through
+            task_boundary("bystander", 0)
+
+    def test_worker_kill_never_fires_in_the_owning_process(self):
+        # the safety gate: a kill rule in the process that installed the
+        # plan must be inert, or a chaos test could take pytest down
+        plan = FaultPlan([FaultRule("worker.kill", match="victim")])
+        with plan.installed():
+            task_boundary("victim", 0)  # still alive iff the gate holds
+
+    def test_jittered_delay_is_deterministic_and_bounded(self):
+        plan = FaultPlan([FaultRule("task.latency", delay=1.0)], seed=3)
+        rule = plan.rules[0]
+        once = plan.jittered_delay(rule, "some-task")
+        assert once == plan.jittered_delay(rule, "some-task")
+        assert 1.0 <= once <= 1.1
+        assert plan.jittered_delay(rule, "other-task") != once
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(backoff=0.1, backoff_factor=2.0, jitter=0.0, max_delay=0.3)
+        assert policy.delay("k", 1) == pytest.approx(0.1)
+        assert policy.delay("k", 2) == pytest.approx(0.2)
+        assert policy.delay("k", 5) == 0.3  # capped
+
+    def test_jitter_is_deterministic_per_key(self):
+        policy = RetryPolicy(backoff=0.1, jitter=0.5)
+        assert policy.delay("a", 1) == policy.delay("a", 1)
+        assert policy.delay("a", 1) != policy.delay("b", 1)
+
+
+# -- chaos: pool backends ---------------------------------------------------------
+
+
+@pytest.mark.chaos
+class TestPoolChaos:
+    def test_worker_kill_is_healed_and_results_identical(self, scratch_algorithms):
+        # victim first: broken futures settle in submit order, so the kill
+        # is deterministically charged to the victim, not the sleeper
+        tasks = [
+            _value_task("victim", x=2.0),
+            _value_task("sleeper", x=3.0, sleep=1.0),
+            _value_task("child", x=5.0, depends_on=("victim",)),
+        ]
+        baseline = _serial_baseline(tasks)
+        plan = FaultPlan([FaultRule("worker.kill", match="victim", times=1)])
+        engine = AnalysisEngine(ProcessPoolScheduler(jobs=2))
+        with plan.installed():
+            try:
+                results = engine.run(tasks)
+            finally:
+                engine.close()
+        assert {tid: canon(r) for tid, r in results.items()} == baseline
+        assert engine.degradation.count("pool-rebuild") == 1
+        assert engine.degradation.count("backend-switch") == 0
+
+    def test_transient_fault_is_retried_to_identical_result(self, scratch_algorithms):
+        tasks = [_value_task("flaky", x=4.0), _value_task("steady", x=1.0)]
+        baseline = _serial_baseline(tasks)
+        plan = FaultPlan([FaultRule("task.transient", match="flaky", times=2)])
+        engine = AnalysisEngine(SerialScheduler())
+        with plan.installed():
+            results = engine.run(tasks)
+        engine.close()
+        assert {tid: canon(r) for tid, r in results.items()} == baseline
+        retries = [e for e in engine.degradation.events if e.kind == "retry"]
+        assert len(retries) == 2
+        assert all(e.task_id == "flaky" for e in retries)
+
+    def test_retries_exhausted_fails_with_attempt_count(self, scratch_algorithms):
+        plan = FaultPlan([FaultRule("task.transient", match="doomed", times=99)])
+        engine = AnalysisEngine(SerialScheduler())  # no fallbacks to hide behind
+        with plan.installed():
+            with pytest.raises(TaskError, match="failed after 3 attempt"):
+                engine.run([_value_task("doomed")])
+        engine.close()
+
+    def test_degradation_chain_pool_to_serial(self, scratch_algorithms):
+        # the kill rule never stops firing, so the pool backend can never
+        # finish the victim; the engine must burn its rebuild budget, fall
+        # back to serial (where worker.kill is inert by design) and still
+        # produce the fault-free results
+        tasks = [
+            _value_task("victim", x=2.0),
+            _value_task("sleeper", x=3.0, sleep=1.5),
+        ]
+        baseline = _serial_baseline(tasks)
+        plan = FaultPlan([FaultRule("worker.kill", match="victim", times=99)])
+        engine = AnalysisEngine(
+            ProcessPoolScheduler(jobs=2),
+            fallbacks=[SerialScheduler],
+            max_pool_rebuilds=1,
+        )
+        with plan.installed():
+            try:
+                results = engine.run(tasks)
+            finally:
+                engine.close()
+        assert {tid: canon(r) for tid, r in results.items()} == baseline
+        assert engine.degradation.count("backend-switch") == 1
+        switch = [e for e in engine.degradation.events if e.kind == "backend-switch"][0]
+        assert switch.backend == "pool -> serial"
+
+    def test_deadline_expiry_is_retried_to_identical_result(self, scratch_algorithms):
+        # injected latency (5 s) on the victim's first attempt only; the
+        # 0.6 s deadline expires it, the rebuild reclaims the sleeping
+        # worker, and the retry — without latency — matches the baseline
+        tasks = [_value_task("slowpoke", x=2.0), _value_task("quick", x=1.0)]
+        baseline = _serial_baseline(tasks)
+        plan = FaultPlan(
+            [FaultRule("task.latency", match="slowpoke", times=1, delay=5.0)]
+        )
+        engine = AnalysisEngine(ProcessPoolScheduler(jobs=2), task_timeout=0.6)
+        start = time.monotonic()
+        with plan.installed():
+            try:
+                results = engine.run(tasks)
+            finally:
+                engine.close()
+        assert time.monotonic() - start < 10.0  # far less than the 5 s sleep x3
+        assert {tid: canon(r) for tid, r in results.items()} == baseline
+        retries = [e for e in engine.degradation.events if e.kind == "retry"]
+        assert any("deadline" in e.detail for e in retries)
+
+    def test_deadlines_exhausted_raise_timeout_error(self, scratch_algorithms):
+        plan = FaultPlan(
+            [FaultRule("task.latency", match="glacial", times=99, delay=5.0)]
+        )
+        engine = AnalysisEngine(
+            ProcessPoolScheduler(jobs=2),
+            task_timeout=0.3,
+            retry_policy=RetryPolicy(retries=1),
+        )
+        tasks = [_value_task("glacial"), _value_task("companion", sleep=0.05)]
+        start = time.monotonic()
+        with plan.installed():
+            with pytest.raises(TaskTimeoutError, match="failed after 2 attempt"):
+                try:
+                    engine.run(tasks)
+                finally:
+                    engine.close()
+        assert time.monotonic() - start < 10.0
+
+
+# -- chaos: retry determinism (results and cache) ---------------------------------
+
+
+@pytest.mark.chaos
+class TestRetryDeterminism:
+    def test_faulted_pool_run_matches_clean_serial_run_and_cache(
+        self, scratch_algorithms, tmp_path
+    ):
+        def tasks():
+            return [
+                _value_task("det/a", x=2.0, cacheable=True),
+                _value_task("det/b", x=3.0, depends_on=("det/a",), cacheable=True),
+                _value_task("det/c", x=5.0, cacheable=True),
+            ]
+
+        clean_cache = ResultCache(tmp_path / "clean")
+        baseline = _serial_baseline(tasks(), cache=clean_cache)
+
+        chaos_cache = ResultCache(tmp_path / "chaos")
+        plan = FaultPlan(
+            [
+                FaultRule("worker.kill", match="det/a", times=1),
+                FaultRule("task.transient", match="det/b", times=1),
+                FaultRule("task.latency", match="det/c", times=1, delay=0.1),
+            ]
+        )
+        engine = AnalysisEngine(ProcessPoolScheduler(jobs=2), cache=chaos_cache)
+        with plan.installed():
+            try:
+                results = engine.run(tasks())
+            finally:
+                engine.close()
+        assert {tid: canon(r) for tid, r in results.items()} == baseline
+
+        clean_keys = {p.name for p in (tmp_path / "clean").glob("*.pkl")}
+        chaos_keys = {p.name for p in (tmp_path / "chaos").glob("*.pkl")}
+        assert clean_keys == chaos_keys and len(clean_keys) == 3
+        for name in clean_keys:
+            key = name[: -len(".pkl")]
+            assert canon(clean_cache.get(key)) == canon(chaos_cache.get(key))
+
+    def test_real_synthesis_retry_is_bit_identical(self):
+        # the paper-facing acceptance check: a Hoeffding synthesis whose
+        # first attempt is killed by an injected transient re-runs to the
+        # same certificate a fault-free engine produces
+        spec = ProgramSpec.from_source(RACE_SOURCE, name="chaos-race")
+        task = AnalysisTask.make("hoeffding", spec, task_id="chaos/race")
+        clean_engine = AnalysisEngine(SerialScheduler())
+        baseline = canon(clean_engine.run_inline(task))
+        clean_engine.close()
+
+        plan = FaultPlan([FaultRule("task.transient", match="chaos/race", times=1)])
+        engine = AnalysisEngine(SerialScheduler())
+        with plan.installed():
+            retried = canon(engine.run_inline(task))
+        engine.close()
+        assert retried == baseline
+        assert engine.degradation.count("retry") == 1
+
+    def test_probe_subtask_fault_retries_the_enclosing_synthesis(self):
+        # a transient on the eps-probe *subtasks* (":probe:" task ids)
+        # must propagate as infrastructure, retry the whole synthesis with
+        # attempt 1 threaded into the probe payloads, and converge to the
+        # serial bound
+        spec = ProgramSpec.from_source(RACE_SOURCE, name="chaos-race-pool")
+        task = AnalysisTask.make("hoeffding", spec, task_id="chaos/pool-race")
+        clean_engine = AnalysisEngine(SerialScheduler())
+        baseline = canon(clean_engine.run_inline(task))
+        clean_engine.close()
+
+        plan = FaultPlan([FaultRule("task.transient", match=":probe:", times=1)])
+        engine = AnalysisEngine(ProcessPoolScheduler(jobs=2))
+        with plan.installed():
+            try:
+                retried = canon(engine.run_inline(task))
+            finally:
+                engine.close()
+        assert retried == baseline
+        assert engine.degradation.count("retry") >= 1
+
+
+# -- chaos: the worker-service daemon ---------------------------------------------
+
+CHAIN_SOURCE = """\
+const p = 0.01
+i := 0
+while i <= 9:
+    if prob(1 - p):
+        i := i + 1
+    else:
+        exit
+assert false
+"""
+
+
+@pytest.mark.chaos
+class TestServiceChaos:
+    def test_daemon_killed_mid_task_fails_fast_and_next_start_sweeps(self, tmp_path):
+        # the regression this PR exists for: a client blocked in recv() on
+        # a SIGKILLed daemon used to hang forever; liveness polling must
+        # turn it into a TaskError within a few poll ticks
+        from repro.engine.workers import ServiceScheduler, start_service, stop_service
+
+        directory = tmp_path / "svc-kill"
+        try:
+            status = start_service(directory, jobs=1, idle_timeout=120)
+            sched = ServiceScheduler(directory)
+            future = sched.submit(time.sleep, 30)
+            time.sleep(0.5)  # let the daemon accept and start the task
+            os.kill(status["pid"], signal.SIGKILL)
+            start = time.monotonic()
+            # in this test the daemon is our direct child, so until it is
+            # reaped it lingers as a zombie and reads as "wedged" (stale
+            # heartbeat, ~3 s); a reparented daemon reads as "died" within
+            # one poll tick — both end the wait, which is the contract
+            with pytest.raises(TaskError, match="mid-task|wedged"):
+                future.result(timeout=30)
+            assert time.monotonic() - start < 8.0
+            try:  # reap the zombie so the restart sees a truly dead pid
+                os.waitpid(status["pid"], 0)
+            except ChildProcessError:
+                pass
+            # the crash left socket/pid files behind; a fresh start reaps
+            # them instead of refusing to bind
+            status = start_service(directory, jobs=1, idle_timeout=120)
+            assert status.get("swept_stale") is True
+            assert not status.get("already_running")
+        finally:
+            stop_service(directory)
+
+    def test_restart_after_crash_with_orphaned_workers_is_bounded(self, tmp_path):
+        # found by driving the CLI: a SIGKILLed daemon's forked pool
+        # workers inherit the listening socket fd, so the stale socket
+        # kept *accepting* connects into a backlog nobody drained — one
+        # status ping filled it and the next `workers start` blocked in
+        # connect() forever.  Connects are now time-bounded and the
+        # sweeper kills the dead daemon's process group.
+        from repro.engine.workers import (
+            ServiceScheduler,
+            service_health,
+            start_service,
+            stop_service,
+        )
+
+        directory = tmp_path / "svc-orphans"
+        try:
+            status = start_service(directory, jobs=2, idle_timeout=120)
+            pid = status["pid"]
+            sched = ServiceScheduler(directory)
+            sched.map(time.sleep, [0.01, 0.01])  # fork the pool workers
+            os.killpg(pid, 0)  # the daemon leads a live process group
+            os.kill(pid, signal.SIGKILL)
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:
+                pass
+            # the orphans keep the listener open: this ping *connects* but
+            # is never served — it must still classify and return
+            start = time.monotonic()
+            assert service_health(directory)["state"] == "stale"
+            status = start_service(directory, jobs=2, idle_timeout=120)
+            assert time.monotonic() - start < 30.0
+            assert status.get("swept_stale") is True
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                try:
+                    os.killpg(pid, 0)
+                except ProcessLookupError:
+                    break  # group empty: orphans reaped
+                time.sleep(0.1)
+            else:
+                pytest.fail("orphaned pool workers survived the sweep")
+        finally:
+            stop_service(directory)
+
+    def test_injected_faults_leave_service_results_identical(self, tmp_path):
+        # the ISSUE's acceptance scenario: one worker killed mid-task AND
+        # one dropped socket reply, against real synthesis tasks through
+        # the daemon — results must match a fault-free serial run, and the
+        # daemon must report that it healed its pool
+        from repro.engine.workers import (
+            ServiceScheduler,
+            service_status,
+            start_service,
+            stop_service,
+        )
+
+        race = ProgramSpec.from_source(RACE_SOURCE, name="chaos-svc-race")
+        chain = ProgramSpec.from_source(CHAIN_SOURCE, name="chaos-svc-chain")
+        tasks = [
+            AnalysisTask.make("hoeffding", race, task_id="svc/kill-me"),
+            AnalysisTask.make("explowsyn", chain, task_id="svc/drop-me"),
+        ]
+        baseline = _serial_baseline(tasks)
+        plan = FaultPlan(
+            [
+                FaultRule("worker.kill", match="svc/kill-me", times=1),
+                FaultRule("service.drop_reply", match="svc/drop-me", times=1),
+            ]
+        )
+        directory = tmp_path / "svc-chaos"
+        # installed BEFORE start_service: the daemon inherits REPRO_FAULTS
+        with plan.installed():
+            try:
+                start_service(directory, jobs=2, idle_timeout=120)
+                engine = AnalysisEngine(ServiceScheduler(directory))
+                try:
+                    results = engine.run(tasks)
+                finally:
+                    engine.close()
+                status = service_status(directory)
+                assert status is not None
+                assert status["pool_rebuilds"] >= 1  # the daemon self-healed
+            finally:
+                stop_service(directory)
+        assert {tid: canon(r) for tid, r in results.items()} == baseline
+        retried = {e.task_id for e in engine.degradation.events if e.kind == "retry"}
+        assert "svc/drop-me" in retried
+
+    def test_workers_status_distinguishes_wedged_from_stale(self, tmp_path):
+        import json
+        import sys
+
+        from repro.cli import main
+        from repro.engine.workers import (
+            _paths,
+            service_health,
+            sweep_stale_service,
+        )
+
+        # wedged: the pid is alive (ours) but nothing answers pings and the
+        # heartbeat is long stale — exit 2, and the sweeper must NOT touch
+        # it (it owns a real process)
+        wedged = tmp_path / "svc-wedged"
+        wedged.mkdir()
+        paths = _paths(wedged)
+        paths["pid"].write_text(str(os.getpid()))
+        paths["heartbeat"].write_text(
+            json.dumps({"time": time.time() - 60.0, "pid": os.getpid(), "interval": 1.0})
+        )
+        assert service_health(wedged)["state"] == "wedged"
+        assert main(["workers", "status", "--dir", str(wedged)]) == 2
+        assert sweep_stale_service(wedged) is False
+        assert paths["pid"].exists()
+
+        # stale: state files with a dead pid — exit 1, and the sweeper reaps
+        proc = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        dead_pid = int(proc.stdout.strip())
+        stale = tmp_path / "svc-stale"
+        stale.mkdir()
+        _paths(stale)["pid"].write_text(str(dead_pid))
+        assert service_health(stale)["state"] == "stale"
+        assert main(["workers", "status", "--dir", str(stale)]) == 1
+        assert sweep_stale_service(stale) is True
+        assert service_health(stale)["state"] == "down"
