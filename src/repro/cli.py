@@ -39,6 +39,7 @@ Example::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -145,10 +146,19 @@ def _cmd_exact(args) -> int:
         max_states=args.max_states,
         explore=args.explore,
         schedule=args.schedule,
+        solver=args.solver,
     )
     print(f"explored states : {bracket.states}{' (truncated)' if bracket.truncated else ''}")
     print(f"vpf bracket     : [{bracket.lower:.9g}, {bracket.upper:.9g}]")
     print(f"iterations      : {bracket.iterations}")
+    solver_line = bracket.solver
+    if bracket.solver != "sweep":
+        status = "certified" if bracket.certified else "partially certified"
+        solver_line += (
+            f" ({status}, {bracket.certify_sweeps} certification sweeps, "
+            f"oracle residual {bracket.oracle_residual:.2e})"
+        )
+    print(f"solver          : {solver_line}")
     return 0
 
 
@@ -157,10 +167,12 @@ def _cmd_bench(args) -> int:
     from pathlib import Path
 
     from repro.lang import compile_source
-    from repro.core.fixpoint import value_iteration
+    from repro.core.fixpoint import build_sparse_model, iterate_model
     from repro.core import fixpoint_reference
     from repro.experiments.fixpoint_bench import (
         FIXPOINT_WORKLOADS,
+        SLOW_MIXING_ANALYTIC_VPF,
+        SLOW_MIXING_WORKLOADS,
         append_bench_run,
         explore_timings,
     )
@@ -184,8 +196,12 @@ def _cmd_bench(args) -> int:
         )
 
         start = time.perf_counter()
-        fast = value_iteration(pts, max_states=max_states, explore=args.explore)
-        fast_seconds = time.perf_counter() - start
+        model = build_sparse_model(pts, max_states=max_states, explore=args.explore)
+        build_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        fast = iterate_model(model, solver=args.solver)
+        vi_seconds = time.perf_counter() - start
+        fast_seconds = build_seconds + vi_seconds
         entry = {
             "program": name,
             "max_states": max_states,
@@ -195,20 +211,38 @@ def _cmd_bench(args) -> int:
             "lower": fast.lower,
             "upper": fast.upper,
             "sparse_seconds": round(fast_seconds, 6),
+            "vi_seconds": round(vi_seconds, 6),
+            "solver": fast.solver,
+            "certified": fast.certified,
+            "certify_sweeps": fast.certify_sweeps,
             **explore_fields,
         }
-        if not args.skip_reference:
+        if fast.oracle_residual is not None:
+            entry["oracle_residual"] = fast.oracle_residual
+        if name in SLOW_MIXING_WORKLOADS:
+            # the pure-Python reference would take minutes to hours at
+            # these sweep counts; the ladder is validated analytically
+            entry["analytic_vpf"] = SLOW_MIXING_ANALYTIC_VPF
+            entry["analytic_error"] = max(
+                0.0,
+                fast.lower - SLOW_MIXING_ANALYTIC_VPF,
+                SLOW_MIXING_ANALYTIC_VPF - fast.upper,
+            )
+        elif not args.skip_reference:
             start = time.perf_counter()
             ref = fixpoint_reference.value_iteration(pts, max_states=max_states)
             ref_seconds = time.perf_counter() - start
             entry["reference_seconds"] = round(ref_seconds, 6)
             entry["speedup"] = round(ref_seconds / fast_seconds, 2) if fast_seconds else None
+            # outward escape from the reference bracket (a certified
+            # oracle bracket may legitimately be tighter, never wider)
             entry["bracket_error"] = max(
-                abs(fast.lower - ref.lower), abs(fast.upper - ref.upper)
+                0.0, ref.lower - fast.lower, fast.upper - ref.upper
             )
         results.append(entry)
         line = (
             f"{name:<14} states={entry['states']:>7} sparse={entry['sparse_seconds']:.3f}s"
+            f" vi[{entry['solver']}]={entry['vi_seconds']:.3f}s"
             f" explore[{entry['explorer']}]={entry['explore_seconds']:.3f}s"
         )
         if "explore_speedup" in entry:
@@ -219,6 +253,8 @@ def _cmd_bench(args) -> int:
                 f" speedup={entry['speedup']:.1f}x"
                 f" bracket_err={entry['bracket_error']:.2e}"
             )
+        if "analytic_error" in entry:
+            line += f" analytic_err={entry['analytic_error']:.2e}"
         print(line)
 
     run_count = append_bench_run(args.out, results, source="repro bench")
@@ -471,6 +507,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="CSR sweep schedule above 2048 states: jacobi (default) or "
         "blocked gauss-seidel (reference schedule, ~half the sweeps)",
     )
+    p_exact.add_argument(
+        "--solver",
+        choices=["auto", "sweep", "direct", "sor", "anderson"],
+        default=os.environ.get("REPRO_SOLVER", "auto"),
+        help="value-iteration solver: pure monotone sweeping, or an oracle "
+        "(sparse direct / SOR / Anderson) whose candidate is adopted only "
+        "after monotone certification sweeps prove it brackets the fixed "
+        "point (default: auto = certified direct solve; REPRO_SOLVER "
+        "overrides the default)",
+    )
     p_exact.set_defaults(fn=_cmd_exact)
 
     p_bench = sub.add_parser(
@@ -500,6 +546,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "int64", "scaled", "fraction"],
         default="auto",
         help="exploration engine to benchmark (default: auto)",
+    )
+    p_bench.add_argument(
+        "--solver",
+        choices=["auto", "sweep", "direct", "sor", "anderson"],
+        default=os.environ.get("REPRO_SOLVER", "auto"),
+        help="value-iteration solver to benchmark (default: auto, or "
+        "REPRO_SOLVER)",
     )
     p_bench.add_argument("--out", default="BENCH_fixpoint.json")
     p_bench.set_defaults(fn=_cmd_bench)

@@ -40,6 +40,7 @@ from repro.core.fixpoint import (
     ValueIterationResult,
     build_sparse_model,
     exact_vpf,
+    iterate_model,
     value_iteration,
 )
 from repro.core.polynomial import (
@@ -83,6 +84,7 @@ __all__ = [
     "ValueIterationResult",
     "SparseFixpointModel",
     "build_sparse_model",
+    "iterate_model",
     "value_iteration",
     "exact_vpf",
     "cs13_deviation_bound",

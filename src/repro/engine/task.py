@@ -49,7 +49,11 @@ _RESOLVE_MEMO_CAP = 64  # > the 36 specs of a full `runner all` sweep
 #: v3: scaled-lattice (fixed-point int64) admission — ``explore="auto"``
 #: semantics changed (fractional PTSs now take the frontier engine), so
 #: artifacts written under the v2 admission rules must read as misses.
-CACHE_KEY_VERSION = 3
+#: v4: solve-then-certify value iteration — certified oracle adoptions end
+#: the run at oracle precision (brackets may differ from pure sweeping in
+#: the last ulps) and the tiny-model heuristic changed ``explore="auto"``
+#: engine selection, so v3 artifacts must read as misses.
+CACHE_KEY_VERSION = 4
 
 
 def _fixpoint_fingerprint() -> str:

@@ -76,8 +76,9 @@ class TestCIWorkflow:
         assert isinstance(lint.get("timeout-minutes"), int)
 
     def test_explorer_parity_job_gates_the_scaled_engine(self):
-        # the PR-blocking parity gate: explorer regressions must fail CI,
-        # not wait for the nightly non-blocking bench run
+        # the PR-blocking parity gate: explorer *and* solver (certified
+        # oracle bracket) regressions must fail CI, not wait for the
+        # nightly non-blocking bench run
         data, _ = _load("ci.yml")
         job = data["jobs"]["explorer-parity"]
         text = _steps_text(job)
@@ -121,6 +122,7 @@ class TestBenchWorkflow:
         pr = triggers["pull_request"]
         assert isinstance(pr, dict) and pr.get("paths")
         assert "src/repro/core/fixpoint*.py" in pr["paths"]
+        assert "src/repro/core/solvers.py" in pr["paths"]
         assert "src/repro/pts/model.py" in pr["paths"]
 
     def test_bench_step_is_non_blocking_and_respects_gate_factor(self):

@@ -1,19 +1,30 @@
 #!/usr/bin/env python3
-"""PR-blocking explorer-parity gate (the ``explorer-parity`` CI job).
+"""PR-blocking explorer- and solver-parity gate (the ``explorer-parity``
+CI job).
 
-Runs small fractional workloads through ``explore="scaled"`` and
-``explore="fraction"`` and asserts the resulting models are *bit-identical*
-— state count, truncation flag, transition matrix, affine offsets, lattice
-start vectors and the (descaled) state index.  One integer-lattice workload
-rides along through ``explore="int64"`` so the plain frontier engine is
-gated too.
+Explorer section: runs small fractional workloads through
+``explore="scaled"`` and ``explore="fraction"`` and asserts the resulting
+models are *bit-identical* — state count, truncation flag, transition
+matrix, affine offsets, lattice start vectors and the (descaled) state
+index.  One integer-lattice workload rides along through
+``explore="int64"`` so the plain frontier engine is gated too.
 
-Exploration-engine regressions used to surface only in the nightly
-non-blocking bench workflow; this script is deliberately tiny (seconds,
-no LP solver, no synthesis) so it can block every push and pull request.
+Solver section: runs the solve-then-certify oracles
+(``solver="direct"|"sor"|"anderson"``, plus ``"auto"``) against the
+pure-sweep engine on bracket workloads and asserts every certified
+bracket is consistent with the reference — it overlaps the sweep bracket
+(both contain vpf, so disjointness means one of them is wrong), never
+escapes it outward by more than the certification slack budget, and on
+the slow-mixing chain the ``auto`` bracket is additionally
+tighter-or-equal and fully certified (the acceptance bar of the
+solve-then-certify design).
 
-Exit status 0 when every workload matches bitwise, 1 otherwise (one
-diagnostic line per mismatching field).  Needs ``repro`` importable
+Engine regressions used to surface only in the nightly non-blocking bench
+workflow; this script is deliberately tiny (seconds, no LP solver, no
+synthesis) so it can block every push and pull request.
+
+Exit status 0 when every workload passes, 1 otherwise (one diagnostic
+line per mismatching field).  Needs ``repro`` importable
 (``PYTHONPATH=src`` or an installed checkout).
 """
 
@@ -78,6 +89,51 @@ WORKLOADS = {
 }
 
 
+#: name -> (source, max_states, integer_mode, expect auto-certified).
+#: Small bracket workloads stressing the three oracle shapes: a
+#: slow-mixing dense fair walk (the solve-then-certify target regime), a
+#: drifted CSR chain where SOR has to fall back to its omega=1 restart,
+#: and a truncated fragment whose bracket legitimately stays [0, 1].
+SOLVER_WORKLOADS = {
+    "gambler-120": (
+        "x := 30\nwhile x >= 1 and x <= 119:\n    switch:\n"
+        "        prob(0.5): x := x + 1\n        prob(0.5): x := x - 1\n"
+        "assert x <= 0",
+        20_000,
+        True,
+        True,
+    ),
+    "drift-chain": (
+        "x := 0\nt := 0\nwhile x <= 19:\n    switch:\n"
+        "        prob(0.75): x, t := x + 1, t + 1\n"
+        "        prob(0.25): x, t := x - 1, t + 1\n"
+        "assert t <= 60",
+        20_000,
+        True,
+        False,
+    ),
+    "rdadder-trunc": (
+        "i := 0\nx := 0\nwhile i <= 199:\n    if prob(0.5):\n"
+        "        i, x := i + 1, x + 1\n    else:\n        i := i + 1\n"
+        "assert x <= 110",
+        8_000,
+        True,
+        False,
+    ),
+}
+
+#: outward-escape budget per solver: ``auto``/``direct`` adopt candidates
+#: at near machine precision; ``sor``/``anderson`` nudge along the
+#: expected-visits witness, whose magnitude inflates the slack to
+#: ~eps * max(w) (measured ~7e-8 on the fair walk).
+SOLVER_TOLERANCES = {
+    "auto": 1e-9,
+    "direct": 1e-9,
+    "sor": 1e-6,
+    "anderson": 1e-6,
+}
+
+
 def to_dense(matrix):
     return matrix.toarray() if hasattr(matrix, "toarray") else matrix
 
@@ -101,8 +157,51 @@ def compare(name: str, fast, exact) -> list:
     return problems
 
 
+def compare_solver(name: str, solver: str, fast, ref, expect_certified: bool) -> list:
+    """Solver-parity checks of one oracle bracket against the pure sweep."""
+    problems = []
+    tol = SOLVER_TOLERANCES[solver]
+    if not (fast.lower <= fast.upper + 1e-12):
+        problems.append(
+            f"{name}[{solver}]: inverted bracket "
+            f"[{fast.lower!r}, {fast.upper!r}]"
+        )
+    # never escape the sweep bracket outward beyond the slack budget; a
+    # *certified* bracket may legitimately be tighter than the sweep's
+    if fast.lower < ref.lower - tol:
+        problems.append(
+            f"{name}[{solver}]: lower bound escaped outward "
+            f"({fast.lower!r} < sweep {ref.lower!r} - {tol})"
+        )
+    if fast.upper > ref.upper + tol:
+        problems.append(
+            f"{name}[{solver}]: upper bound escaped outward "
+            f"({fast.upper!r} > sweep {ref.upper!r} + {tol})"
+        )
+    # overlap: both brackets contain vpf, so disjointness means a bug
+    if fast.lower > ref.upper + tol or fast.upper < ref.lower - tol:
+        problems.append(
+            f"{name}[{solver}]: bracket [{fast.lower!r}, {fast.upper!r}] "
+            f"disjoint from sweep [{ref.lower!r}, {ref.upper!r}]"
+        )
+    if solver == "auto" and expect_certified:
+        if not fast.certified:
+            problems.append(
+                f"{name}[auto]: expected a fully certified bracket, "
+                f"got certified={fast.certified}"
+            )
+        # the acceptance bar: certified auto brackets are tighter-or-equal
+        if fast.lower < ref.lower - 1e-12 or fast.upper > ref.upper + 1e-12:
+            problems.append(
+                f"{name}[auto]: certified bracket wider than the sweep's "
+                f"([{fast.lower!r}, {fast.upper!r}] vs "
+                f"[{ref.lower!r}, {ref.upper!r}])"
+            )
+    return problems
+
+
 def main() -> int:
-    from repro.core.fixpoint import build_sparse_model
+    from repro.core.fixpoint import build_sparse_model, iterate_model
     from repro.lang import compile_source
 
     failures = []
@@ -122,12 +221,30 @@ def main() -> int:
             f"{name:<16} {fast.explored_via:<13} states={fast.n:>6} "
             f"truncated={str(fast.truncated):<5} {status}"
         )
+    print()
+    for name, (source, max_states, integer_mode, expect_cert) in SOLVER_WORKLOADS.items():
+        pts = compile_source(source, name=name, integer_mode=integer_mode).pts
+        model = build_sparse_model(pts, max_states=max_states)
+        ref = iterate_model(model, solver="sweep")
+        for solver in ("auto", "direct", "sor", "anderson"):
+            fast = iterate_model(model, solver=solver)
+            problems = compare_solver(name, solver, fast, ref, expect_cert)
+            failures.extend(problems)
+            status = "MISMATCH" if problems else "ok"
+            print(
+                f"{name:<16} {solver:<9} used={fast.solver:<9} "
+                f"certified={str(fast.certified):<5} "
+                f"[{fast.lower:.12f}, {fast.upper:.12f}] {status}"
+            )
     if failures:
-        print(f"\nexplorer parity FAILED ({len(failures)} problem(s)):")
+        print(f"\nexplorer/solver parity FAILED ({len(failures)} problem(s)):")
         for line in failures:
             print(f"  - {line}")
         return 1
-    print(f"\nexplorer parity ok: {len(WORKLOADS)} workload(s) bit-identical")
+    print(
+        f"\nexplorer parity ok: {len(WORKLOADS)} workload(s) bit-identical; "
+        f"solver parity ok: {len(SOLVER_WORKLOADS)} workload(s) x 4 solvers"
+    )
     return 0
 
 
