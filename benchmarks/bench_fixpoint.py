@@ -18,6 +18,12 @@ end-to-end ``sparse_seconds`` — or value-iteration-phase ``vi_seconds`` —
 degrades more than 2x against the best time ever recorded for the same
 workload (program + state budget) fails, so a perf regression cannot land
 silently just because the brackets still agree.
+
+Every bench run additionally emits its translation-validation
+:class:`~repro.core.runcert.RunCertificate` and verifies it in-process;
+set ``REPRO_BENCH_CERT_DIR`` to also persist the certificates (the bench
+workflow uploads that directory as an artifact next to
+``BENCH_fixpoint.json``).
 """
 
 import os
@@ -144,5 +150,26 @@ def test_sparse_engine_vs_reference(name, fixpoint_recorder, benchmark):
 
     _gate(name, max_states, "sparse_seconds", sparse_seconds)
     _gate(name, max_states, "vi_seconds", vi_seconds)
+
+    # every bench run carries its proof: emit the run certificate, verify
+    # it in-process (a failing check fails the bench), and persist it when
+    # the workflow asked for artifacts (REPRO_BENCH_CERT_DIR)
+    from repro.core.runcert import emit_run_certificate, verify_run_certificate
+
+    cert = emit_run_certificate(
+        pts,
+        model,
+        fast,
+        max_states=max_states,
+        name=name,
+        source=source,
+        integer_mode=integer_mode,
+    )
+    report = verify_run_certificate(cert, pts=pts)
+    assert report.ok, "\n".join(report.render())
+    cert_dir = os.environ.get("REPRO_BENCH_CERT_DIR")
+    if cert_dir:
+        Path(cert_dir).mkdir(parents=True, exist_ok=True)
+        cert.save(Path(cert_dir) / f"{name}.cert.json")
 
     fixpoint_recorder(entry)

@@ -10,6 +10,11 @@ Commands
                identical analyses from disk
 ``simulate``   Monte-Carlo estimate of the violation probability
 ``exact``      value-iteration bracket on the violation probability
+               (``--certificate PATH`` also emits the run certificate)
+``verify-certificate``
+               independently check a run certificate — re-derive the
+               admission bounds and replay the frontier digests without
+               re-running exploration; exit 0 pass / 1 fail / 2 not found
 ``bench``      time the sparse fixpoint engine (vs the legacy reference)
                and append the results to ``BENCH_fixpoint.json``
 ``selftest``   one fast task per synthesis family through the analysis
@@ -17,8 +22,9 @@ Commands
 ``workers``    manage the persistent worker service (``start|stop|status``)
                that keeps a warm process pool alive *across* CLI
                invocations; route analyses to it with ``analyze --workers``
-``cache``      inspect (``stats``) or size-bound (``gc``) the on-disk
-               result cache — eviction is LRU by mtime under a byte budget
+``cache``      inspect (``stats``, incl. certificate-sidecar coverage) or
+               size-bound (``gc``) the on-disk result cache — eviction is
+               LRU by mtime under a byte budget, sidecars co-evicted
 
 Programs are written in the paper's surface syntax, e.g.::
 
@@ -138,16 +144,13 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_exact(args) -> int:
-    from repro.core import value_iteration
+    from repro.core.fixpoint import build_sparse_model, iterate_model
 
     result = _load(args.file, not args.real_valued)
-    bracket = value_iteration(
-        result.pts,
-        max_states=args.max_states,
-        explore=args.explore,
-        schedule=args.schedule,
-        solver=args.solver,
+    model = build_sparse_model(
+        result.pts, max_states=args.max_states, explore=args.explore
     )
+    bracket = iterate_model(model, schedule=args.schedule, solver=args.solver)
     print(f"explored states : {bracket.states}{' (truncated)' if bracket.truncated else ''}")
     print(f"vpf bracket     : [{bracket.lower:.9g}, {bracket.upper:.9g}]")
     print(f"iterations      : {bracket.iterations}")
@@ -159,7 +162,64 @@ def _cmd_exact(args) -> int:
             f"oracle residual {bracket.oracle_residual:.2e})"
         )
     print(f"solver          : {solver_line}")
+    if args.certificate:
+        from repro.core.runcert import emit_run_certificate
+
+        cert = emit_run_certificate(
+            result.pts,
+            model,
+            bracket,
+            max_states=args.max_states,
+            explore=args.explore,
+            name=Path(args.file).stem,
+            source=Path(args.file).read_text(),
+            integer_mode=not args.real_valued,
+        )
+        cert.save(args.certificate)
+        print(f"certificate     : {args.certificate} ({cert.digest[:16]}…)")
     return 0
+
+
+def _cmd_verify_certificate(args) -> int:
+    from repro.core.runcert import RunCertificate, verify_certificate_text
+
+    target = Path(args.target)
+    if target.is_file():
+        text = target.read_text()
+        origin = str(target)
+    else:
+        from repro.engine.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+        text = cache.get_blob(args.target)
+        origin = str(cache.blob_path(args.target))
+        if text is None:
+            print(
+                f"error: {args.target!r} is neither a certificate file nor "
+                f"a cache key with a sidecar under {cache.directory}",
+                file=sys.stderr,
+            )
+            return 2
+    pts = None
+    if args.program:
+        pts = _load(args.program, not args.real_valued).pts
+    report = verify_certificate_text(text, pts=pts)
+    print(f"certificate     : {origin}")
+    try:
+        cert = RunCertificate.parse(text)
+    except ReproError:
+        cert = None
+    if cert is not None:
+        prog = cert.payload.get("program", {})
+        print(f"program         : {prog.get('name') or '<unnamed>'}")
+        print(f"digest          : {cert.digest[:16]}…")
+    for line in report.render():
+        print(line)
+    if report.ok:
+        print("verdict         : PASS")
+        return 0
+    print("verdict         : FAIL")
+    return 1
 
 
 def _cmd_bench(args) -> int:
@@ -418,6 +478,14 @@ def _cmd_cache(args) -> int:
         print(f"total size      : {_fmt_bytes(stats.total_bytes)}")
         print(f"byte budget     : {budget}")
         print(f"oldest entry    : {stats.oldest_age_seconds:.0f}s ago")
+        with_cert = stats.certificates
+        without = stats.entries - with_cert
+        print(f"certificates    : {with_cert} of {stats.entries} entries ({without} without)")
+        if stats.orphan_certificates:
+            print(
+                f"orphan sidecars : {stats.orphan_certificates} "
+                "(next gc sweeps them)"
+            )
         return 0
     # gc
     try:
@@ -517,7 +585,44 @@ def build_parser() -> argparse.ArgumentParser:
         "point (default: auto = certified direct solve; REPRO_SOLVER "
         "overrides the default)",
     )
+    p_exact.add_argument(
+        "--certificate",
+        default=None,
+        metavar="PATH",
+        help="also emit the run certificate (admission bounds, frontier "
+        "digests, solver evidence) as JSON to PATH — check it later with "
+        "`repro verify-certificate PATH`",
+    )
     p_exact.set_defaults(fn=_cmd_exact)
+
+    p_verify = sub.add_parser(
+        "verify-certificate",
+        help="independently check a run certificate (no re-exploration)",
+    )
+    p_verify.add_argument(
+        "target",
+        help="certificate file path, or a cache key whose sidecar blob to "
+        "check",
+    )
+    p_verify.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"cache directory for key targets (default: {DEFAULT_CACHE_DIR})",
+    )
+    p_verify.add_argument(
+        "--program",
+        default=None,
+        metavar="FILE",
+        help="verify against this program file instead of the source "
+        "embedded in the certificate",
+    )
+    p_verify.add_argument(
+        "--real-valued",
+        action="store_true",
+        help="compile --program without integer tightening",
+    )
+    p_verify.set_defaults(fn=_cmd_verify_certificate)
 
     p_bench = sub.add_parser(
         "bench", help="benchmark the fixpoint engine, append BENCH_fixpoint.json"

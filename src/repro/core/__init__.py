@@ -6,7 +6,10 @@ per synthesis family — §5.1 Hoeffding/RepRSM (:func:`hoeffding_synthesis`),
 and polynomial lower bounds — plus invariant generation, termination
 proofs, prior-work baselines, and the ground-truth fixpoint engine
 (:func:`value_iteration` / :func:`exact_vpf`) with its int64
-frontier-batch exploration fast path and pluggable sweep schedules.
+frontier-batch exploration fast path, pluggable sweep schedules, and
+per-run translation-validation certificates
+(:mod:`repro.core.runcert`: :func:`emit_run_certificate` /
+:func:`verify_run_certificate`).
 
 Layer contract: ``core`` consumes :class:`~repro.pts.PTS` objects and the
 ``repro.numeric`` solver adapters; it never imports from ``repro.engine``
@@ -42,6 +45,14 @@ from repro.core.fixpoint import (
     exact_vpf,
     iterate_model,
     value_iteration,
+)
+from repro.core.runcert import (
+    RunCertificate,
+    VerificationReport,
+    derive_admission,
+    emit_run_certificate,
+    verify_certificate_text,
+    verify_run_certificate,
 )
 from repro.core.polynomial import (
     Polynomial,
@@ -87,6 +98,12 @@ __all__ = [
     "iterate_model",
     "value_iteration",
     "exact_vpf",
+    "RunCertificate",
+    "VerificationReport",
+    "derive_admission",
+    "emit_run_certificate",
+    "verify_certificate_text",
+    "verify_run_certificate",
     "cs13_deviation_bound",
     "BoundedRSM",
     "synthesize_bounded_rsm",

@@ -94,6 +94,7 @@ way — the oracle is pure acceleration, never trusted.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from fractions import Fraction
 from math import gcd
@@ -103,6 +104,11 @@ import numpy as np
 from scipy.sparse import csr_matrix
 
 from repro.core import solvers as _solvers
+from repro.core.runcert import (
+    DigestAccumulator,
+    canonical_level_rows,
+    exact_state_row,
+)
 from repro.core.solvers import SOLVERS
 from repro.errors import ModelError
 from repro.pts.model import PTS
@@ -223,6 +229,11 @@ class ValueIterationResult:
     #: sup-norm residual ``max |A x* + b - x*|`` of the oracle candidate
     #: over both bracket columns (None when no oracle ran)
     oracle_residual: Optional[float] = None
+    #: solver-certification evidence for run certificates (witness hash,
+    #: slack-ladder parameters, measured pre/post-fixpoint margins);
+    #: excluded from equality — evidence describes *how* the bracket was
+    #: certified, not what it is
+    evidence: Optional[Dict] = field(default=None, repr=False, compare=False)
 
     @property
     def width(self) -> float:
@@ -386,21 +397,27 @@ class _IntPlan:
     vectors inside the BFS hold ``scale * value``.  ``limits[j]`` is the
     per-variable magnitude bound in *scaled* coordinates that every
     admitted state must satisfy — ``2**31`` on the integer lattice,
-    ``min(2**31, scale[j] * 2**15)`` on scaled ones.
+    ``min(2**31, scale[j] * 2**15)`` on scaled ones.  ``admission`` is
+    the run-certificate record of the bounds actually used — every guard
+    row (with its clearing multiplier and overflow headroom) and every
+    stepper's headroom, in transition order; an independent checker
+    re-derives the same record from the PTS (see
+    :mod:`repro.core.runcert`).
     """
 
-    __slots__ = ("by_loc", "scale", "limits", "scaled")
+    __slots__ = ("by_loc", "scale", "limits", "scaled", "admission")
 
-    def __init__(self, by_loc, scale, limits, scaled):
+    def __init__(self, by_loc, scale, limits, scaled, admission):
         self.by_loc = by_loc
         self.scale = scale
         self.limits = limits
         self.scaled = scaled
+        self.admission = admission
 
 
 def _scaled_guard_row(
     expr, var_index: Dict[str, int], scale: List[int], limits: List[int]
-) -> Optional[Tuple[List[int], int]]:
+) -> Optional[Tuple[List[int], int, int]]:
     """Rescale one guard inequality onto the fixed-point lattice, or
     ``None`` when it is inadmissible.
 
@@ -448,7 +465,7 @@ def _scaled_guard_row(
     )
     if (len(terms) + 4) * _FLOAT_ULP * magnitude > _SCALED_GUARD_SLACK:
         return None
-    return row, c
+    return row, c, mult
 
 
 def _compile_int_plan(pts: PTS, allow_scaled: bool = False) -> Optional[_IntPlan]:
@@ -488,37 +505,57 @@ def _compile_int_plan(pts: PTS, allow_scaled: bool = False) -> Optional[_IntPlan
     else:
         limits = [_INT_VALUE_LIMIT] * nv
 
+    guard_entries: List[Dict] = []
+    step_entries: List[Dict] = []
     rows_by_loc: Dict[int, List[Tuple]] = {}
-    step_cache: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
-    for t in pts.transitions:
+    step_cache: Dict[Tuple[int, int], Tuple[Tuple[np.ndarray, np.ndarray], int]] = {}
+    for ti, t in enumerate(pts.transitions):
         guard_rows: List[List[int]] = []
         guard_consts: List[int] = []
-        for ineq in t.guard.inequalities:
+        for k, ineq in enumerate(t.guard.inequalities):
             expr = ineq.expr
             if scaled:
                 compiled_row = _scaled_guard_row(expr, var_index, scale, limits)
                 if compiled_row is None:
                     return None
-                row, const = compiled_row
+                row, const, mult = compiled_row
+                magnitude = sum(
+                    abs(row[j]) * limits[j] for j in range(nv)
+                ) + abs(const)
+                headroom = _INT_STEP_MAGNITUDE - magnitude
             else:
                 row = [0] * nv
                 for name, coeff in expr.iter_coeffs():
                     row[var_index[name]] = int(coeff)
                 const = int(expr.const)
-                if sum(abs(a) for a in row) * _INT_VALUE_LIMIT + abs(const) >= _INT_GUARD_MAGNITUDE:
+                mult = 1
+                magnitude = sum(abs(a) for a in row) * _INT_VALUE_LIMIT + abs(const)
+                if magnitude >= _INT_GUARD_MAGNITUDE:
                     return None
+                headroom = _INT_GUARD_MAGNITUDE - magnitude
+            guard_entries.append(
+                {
+                    "transition": ti,
+                    "ineq": k,
+                    "mult": int(mult),
+                    "row": list(row),
+                    "const": int(const),
+                    "headroom": int(headroom),
+                }
+            )
             guard_rows.append(row)
             guard_consts.append(const)
         steppers: List[Tuple[float, int, np.ndarray, np.ndarray]] = []
-        for fork in t.forks:
+        for fi, fork in enumerate(t.forks):
             p_fork = float(fork.probability)
             dest = loc_id[fork.destination]
             for d_idx, (draw_p, draw) in enumerate(draw_list):
                 key = (id(fork.update), d_idx)
-                compiled = step_cache.get(key)
-                if compiled is None:
+                cached = step_cache.get(key)
+                if cached is None:
                     a_rows: List[List[int]] = []
                     c_row: List[int] = []
+                    worst = 0
                     for vi, v in enumerate(program_vars):
                         expr = fork.update.assignments.get(v)
                         if expr is None:
@@ -526,6 +563,9 @@ def _compile_int_plan(pts: PTS, allow_scaled: bool = False) -> Optional[_IntPlan
                             row[var_index[v]] = 1
                             a_rows.append(row)
                             c_row.append(0)
+                            # identity rows skip the admission check but
+                            # still count toward the recorded headroom
+                            worst = max(worst, limits[vi])
                             continue
                         row = [0] * nv
                         const = expr.const
@@ -549,21 +589,52 @@ def _compile_int_plan(pts: PTS, allow_scaled: bool = False) -> Optional[_IntPlan
                             c = int(scaled_const)
                         else:
                             c = int(const)
-                        if sum(
+                        magnitude = sum(
                             abs(row[j]) * limits[j] for j in range(nv)
-                        ) + abs(c) >= _INT_STEP_MAGNITUDE:
+                        ) + abs(c)
+                        if magnitude >= _INT_STEP_MAGNITUDE:
                             return None
+                        worst = max(worst, magnitude)
                         a_rows.append(row)
                         c_row.append(c)
-                    compiled = (
-                        np.array(a_rows, dtype=np.int64).reshape(nv, nv),
-                        np.array(c_row, dtype=np.int64),
+                    cached = (
+                        (
+                            np.array(a_rows, dtype=np.int64).reshape(nv, nv),
+                            np.array(c_row, dtype=np.int64),
+                        ),
+                        _INT_STEP_MAGNITUDE - worst,
                     )
-                    step_cache[key] = compiled
+                    step_cache[key] = cached
+                compiled, step_headroom = cached
+                step_entries.append(
+                    {
+                        "transition": ti,
+                        "fork": fi,
+                        "draw": d_idx,
+                        "headroom": int(step_headroom),
+                    }
+                )
                 steppers.append((p_fork * draw_p, dest, compiled[0], compiled[1]))
         rows_by_loc.setdefault(loc_id[t.source], []).append(
             (guard_rows, guard_consts, steppers)
         )
+
+    admission = {
+        "lattice": "scaled" if scaled else "int64",
+        "scale": list(scale),
+        "limits": list(limits),
+        "guards": guard_entries,
+        "steps": step_entries,
+        "bounds": {
+            "value_limit": _INT_VALUE_LIMIT,
+            "real_limit": _SCALED_REAL_LIMIT,
+            "guard_magnitude": _INT_GUARD_MAGNITUDE,
+            "step_magnitude": _INT_STEP_MAGNITUDE,
+            "gap_limit": _SCALED_GAP_LIMIT,
+            "guard_slack": _SCALED_GUARD_SLACK,
+            "ulp": _FLOAT_ULP,
+        },
+    }
 
     by_loc: Dict[int, _IntLocPlan] = {}
     for lid, transitions in rows_by_loc.items():
@@ -583,7 +654,7 @@ def _compile_int_plan(pts: PTS, allow_scaled: bool = False) -> Optional[_IntPlan
             slices,
             stepper_lists,
         )
-    return _IntPlan(by_loc, scale, limits, scaled)
+    return _IntPlan(by_loc, scale, limits, scaled, admission)
 
 
 # ---------------------------------------------------------------------------
@@ -618,6 +689,11 @@ class SparseFixpointModel:
     _index_builder: Optional[Callable[[], Dict[State, int]]] = field(
         default=None, repr=False, compare=False
     )
+    # exploration evidence for run certificates (per-level frontier
+    # digests + the frontier plan's admission record); excluded from
+    # equality for the same reason as the index plumbing — bit-identical
+    # models must compare equal whichever engine built them
+    _evidence: Optional[Dict] = field(default=None, repr=False, compare=False)
 
     @property
     def index(self) -> Dict[State, int]:
@@ -721,8 +797,15 @@ def build_sparse_model(
 
 
 def _build_model_exact(pts: PTS, max_states: int) -> SparseFixpointModel:
-    """The scalar engine: state-interning BFS over compiled tuple steppers."""
+    """The scalar engine: state-interning BFS over compiled tuple steppers.
+
+    The BFS walks the same state sequence it always did, but in *level
+    windows* — the window ``[level_start, level_stop)`` snapshots the
+    intern table exactly like the frontier engines' batch windows, so the
+    per-level certificate digests agree across engines bit for bit.
+    """
     plan = _compile_plan(pts)
+    loc_id = {name: i for i, name in enumerate(pts.locations)}
     init_state: State = (
         pts.init_location,
         tuple(pts.init_valuation[v] for v in pts.program_vars),
@@ -735,34 +818,42 @@ def _build_model_exact(pts: PTS, max_states: int) -> SparseFixpointModel:
     overflow: Dict[int, float] = {}
     truncated = False
     is_sink = pts.is_sink
-    frontier = 0
-    while frontier < len(order):
-        loc, values = order[frontier]
-        if is_sink(loc):
-            frontier += 1
-            continue
-        fvals = [float(x) for x in values]
-        for guard_fn, steppers in plan.get(loc, ()):
-            if guard_fn(fvals):
-                break
-        else:
-            valuation = dict(zip(pts.program_vars, values))
-            raise ModelError(f"no enabled transition at {loc!r} with {valuation}")
-        for p, destination, step in steppers:
-            nxt = (destination, step(values))
-            j = index.get(nxt)
-            if j is None:
-                if len(order) >= max_states:
-                    truncated = True
-                    overflow[frontier] = overflow.get(frontier, 0.0) + p
-                    continue
-                j = len(order)
-                index[nxt] = j
-                order.append(nxt)
-            rows.append(frontier)
-            cols.append(j)
-            probs.append(p)
-        frontier += 1
+    acc = DigestAccumulator()
+    level_start = 0
+    while level_start < len(order):
+        level_stop = len(order)
+        acc.add_level(
+            [
+                exact_state_row(loc_id[loc], values)
+                for loc, values in order[level_start:level_stop]
+            ]
+        )
+        for frontier in range(level_start, level_stop):
+            loc, values = order[frontier]
+            if is_sink(loc):
+                continue
+            fvals = [float(x) for x in values]
+            for guard_fn, steppers in plan.get(loc, ()):
+                if guard_fn(fvals):
+                    break
+            else:
+                valuation = dict(zip(pts.program_vars, values))
+                raise ModelError(f"no enabled transition at {loc!r} with {valuation}")
+            for p, destination, step in steppers:
+                nxt = (destination, step(values))
+                j = index.get(nxt)
+                if j is None:
+                    if len(order) >= max_states:
+                        truncated = True
+                        overflow[frontier] = overflow.get(frontier, 0.0) + p
+                        continue
+                    j = len(order)
+                    index[nxt] = j
+                    order.append(nxt)
+                rows.append(frontier)
+                cols.append(j)
+                probs.append(p)
+        level_start = level_stop
 
     n = len(order)
     fail_loc, term_loc = pts.fail_location, pts.term_location
@@ -786,6 +877,7 @@ def _build_model_exact(pts: PTS, max_states: int) -> SparseFixpointModel:
         truncated=truncated,
         explored_via="fraction",
         _index=index,
+        _evidence={"levels": acc.finish(), "admission": None},
     )
 
 
@@ -862,12 +954,15 @@ def _build_model_int(
     probs_chunks: List[np.ndarray] = []
     truncated = False
     batches = 0
+    acc = DigestAccumulator()
+    scale_row = np.array(plan.scale, dtype=np.int64).reshape(1, nv)
 
     base = 0
     while base < n:
         stop = n
         batch_locs = locs[base:stop]
         batch_vals = vals[base:stop]
+        acc.add_level(canonical_level_rows(batch_locs, batch_vals, scale_row))
 
         c_src: List[np.ndarray] = []
         c_rank: List[np.ndarray] = []
@@ -1066,6 +1161,7 @@ def _build_model_int(
         truncated=truncated,
         explored_via="scaled-int64" if plan.scaled else "int64",
         _index_builder=index_builder,
+        _evidence={"levels": acc.finish(), "admission": plan.admission},
     )
 
 
@@ -1151,6 +1247,23 @@ def iterate_model(
     certified = False
     certify_sweeps = 0
     oracle_residual: Optional[float] = None
+    # run-certificate evidence: how (not what) the bracket was certified.
+    # Deliberately free of timings/timestamps so serial and pooled runs
+    # of the same model produce byte-identical certificates.
+    vi_evidence: Dict = {
+        "requested": solver,
+        "oracle": None,
+        "warmup_sweeps": None,
+        "witness_sha256": None,
+        "witness_max": None,
+        "witness_ok": None,
+        "slack_ladder": None,
+        "adopted_lower": False,
+        "adopted_upper": False,
+        "post_fixpoint_margin": None,
+        "pre_fixpoint_margin": None,
+        "tol": tol,
+    }
 
     if solver != "sweep":
         x = sweep_until(x, min(_solvers.WARMUP_SWEEPS, max_iterations))
@@ -1181,8 +1294,51 @@ def iterate_model(
                     allow_lower,
                 )
                 certify_sweeps += sweeps
+                # replicate the certifier's nudge selection for the
+                # witness evidence (see certify_bracket)
+                witness = candidate[:, 2]
+                if np.isfinite(witness).all() and bool((witness > 0.0).all()):
+                    nudge = witness
+                else:
+                    nudge = np.ones(n)
+                base = max(oracle_residual, 2.0**-52)
+                vi_evidence.update(
+                    oracle=oracle,
+                    warmup_sweeps=_solvers.WARMUP_SWEEPS,
+                    witness_sha256=hashlib.sha256(
+                        np.ascontiguousarray(nudge.astype("<f8")).tobytes()
+                    ).hexdigest(),
+                    witness_max=float(nudge.max(initial=1.0)),
+                    witness_ok=bool(allow_lower),
+                    slack_ladder={
+                        "base": base,
+                        "multiples": list(_solvers.SLACK_MULTIPLES),
+                        "cap": _solvers.SLACK_CAP,
+                    },
+                    adopted_lower=bool(ok_lower),
+                    adopted_upper=bool(ok_upper),
+                )
                 if ok_lower or ok_upper:
                     used_solver = oracle
+                    # one extra matvec measures the adopted iterate's
+                    # fixed-point margins — the checkable residue of the
+                    # Knaster–Tarski argument (post-fixpoint: T(x) >= x
+                    # on the lower column; pre-fixpoint: T(x) <= x on
+                    # the upper).  Evidence only: certify_sweeps and the
+                    # bracket itself are untouched.
+                    swept_adopted = model.matrix @ x + b
+                    if ok_lower:
+                        vi_evidence["post_fixpoint_margin"] = (
+                            float((swept_adopted[:, 0] - x[:, 0]).min())
+                            if n
+                            else 0.0
+                        )
+                    if ok_upper:
+                        vi_evidence["pre_fixpoint_margin"] = (
+                            float((x[:, 1] - swept_adopted[:, 1]).min())
+                            if n
+                            else 0.0
+                        )
                 if ok_lower and ok_upper:
                     certified = True
                     # the bracket carries its own proof; end the run when
@@ -1205,6 +1361,7 @@ def iterate_model(
         certified=certified,
         certify_sweeps=certify_sweeps,
         oracle_residual=oracle_residual,
+        evidence=vi_evidence,
     )
 
 

@@ -63,6 +63,8 @@ import numpy as np
 
 __all__ = [
     "SOLVERS",
+    "SLACK_CAP",
+    "SLACK_MULTIPLES",
     "OracleFailure",
     "run_oracle",
     "contraction_witness_ok",
@@ -86,8 +88,11 @@ WARMUP_SWEEPS = 32
 SLACK_MULTIPLES = (2.0, 16.0, 256.0)
 
 #: absolute bracket-inflation budget of the last ladder rung (also the
-#: agreement tolerance the solver-parity gate checks oracles against)
-_SLACK_CAP = 1e-9
+#: agreement tolerance the solver-parity gate checks oracles against).
+#: ``SLACK_CAP`` is the public name recorded in run certificates; the
+#: underscored alias is kept for the certifier's internal use.
+SLACK_CAP = 1e-9
+_SLACK_CAP = SLACK_CAP
 
 #: required componentwise margin of ``w - A w`` for the contraction
 #: witness; the exact residual of the expected-visits vector is 1, so a

@@ -15,8 +15,16 @@ survive and cold ones age out oldest-first.  Two invariants:
 * GC **never evicts an entry written by the current process's run** — a
   sweep that both fills and collects the cache must not cannibalize its own
   results mid-flight;
-* GC only ever deletes ``*.pkl`` files in the cache directory (plus its
-  own orphaned ``*.tmp`` spill files), never anything else.
+* GC only ever deletes ``*.pkl`` entries and their ``*.cert.json``
+  certificate sidecars in the cache directory (plus its own orphaned
+  ``*.tmp`` spill files), never anything else.
+
+Run certificates ride as **sidecar blobs**: ``put`` strips a result's
+``run_certificate`` payload into ``{key}.cert.json`` next to the pickle
+(pickle lands first, so a crash can orphan a missing sidecar but never a
+dangling one) and ``get`` reattaches it.  Sidecars share their entry's
+LRU fate — eviction removes both files, and GC sweeps any sidecar whose
+pickle is gone, so no orphaned blobs accumulate.
 
 ``repro cache stats`` and ``repro cache gc`` expose the same machinery
 from the command line.
@@ -24,11 +32,12 @@ from the command line.
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import tempfile
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Optional
 
@@ -78,6 +87,10 @@ class CacheStats:
     total_bytes: int
     max_bytes: int
     oldest_age_seconds: float
+    #: entries carrying a ``*.cert.json`` run-certificate sidecar
+    certificates: int = 0
+    #: sidecars whose pickle entry is gone (healed by the next gc)
+    orphan_certificates: int = 0
 
 
 @dataclass
@@ -115,6 +128,10 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
 
+    def blob_path(self, key: str) -> Path:
+        """Where ``key``'s run-certificate sidecar lives (may not exist)."""
+        return self.directory / f"{key}.cert.json"
+
     def get(self, key: str) -> Optional[CertificateResult]:
         path = self._path(key)
         try:
@@ -134,9 +151,18 @@ class ResultCache:
             os.utime(path)  # LRU touch: a hit is a use
         except OSError:
             pass
+        blob = self.get_blob(key)
+        if blob is not None:
+            try:
+                result = replace(result, run_certificate=json.loads(blob))
+            except ValueError:
+                pass  # torn/corrupt sidecar: serve the entry without it
         return result
 
     def put(self, key: str, result: CertificateResult) -> None:
+        certificate = result.run_certificate
+        if certificate is not None:
+            result = replace(result, run_certificate=None)
         self.directory.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
@@ -149,12 +175,48 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        # sidecar second: a crash here leaves an entry without its
+        # certificate (served as such), never a dangling sidecar
+        if certificate is not None:
+            self.put_blob(
+                key,
+                json.dumps(certificate, sort_keys=True, indent=2) + "\n",
+            )
         self.stores += 1
         self._session_keys.add(key)
 
+    # -- certificate sidecar blobs -------------------------------------------------
+    def put_blob(self, key: str, text: str) -> None:
+        """Atomically write ``key``'s sidecar blob (tmp + ``os.replace``)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            os.replace(tmp, self.blob_path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get_blob(self, key: str) -> Optional[str]:
+        """Read ``key``'s sidecar blob, ``None`` when absent/unreadable."""
+        try:
+            with open(self.blob_path(key), "r", encoding="utf-8") as fh:
+                return fh.read()
+        except OSError:
+            return None
+
     # -- garbage collection --------------------------------------------------------
     def _entries(self):
-        """``(mtime, size, key, path)`` for every entry, oldest first."""
+        """``(mtime, size, key, path)`` for every entry, oldest first.
+
+        ``size`` includes the certificate sidecar when one exists — the
+        entry and its sidecar live and die together, so the byte budget
+        must account for both.
+        """
         entries = []
         try:
             names = os.listdir(self.directory)
@@ -168,19 +230,40 @@ class ResultCache:
                 stat = path.stat()
             except OSError:  # raced with another process's eviction
                 continue
-            entries.append((stat.st_mtime, stat.st_size, name[: -len(".pkl")], path))
+            key = name[: -len(".pkl")]
+            size = stat.st_size
+            try:
+                size += self.blob_path(key).stat().st_size
+            except OSError:
+                pass
+            entries.append((stat.st_mtime, size, key, path))
         entries.sort(key=lambda e: (e[0], e[2]))
         return entries
 
     def stats(self) -> CacheStats:
         entries = self._entries()
         now = time.time()
+        keys = {key for _, _, key, _ in entries}
+        certificates = orphans = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            names = []
+        for name in names:
+            if not name.endswith(".cert.json"):
+                continue
+            if name[: -len(".cert.json")] in keys:
+                certificates += 1
+            else:
+                orphans += 1
         return CacheStats(
             directory=str(self.directory),
             entries=len(entries),
             total_bytes=sum(size for _, size, _, _ in entries),
             max_bytes=self.max_bytes,
             oldest_age_seconds=max(0.0, now - entries[0][0]) if entries else 0.0,
+            certificates=certificates,
+            orphan_certificates=orphans,
         )
 
     def gc(self, max_bytes: Optional[int] = None) -> GCReport:
@@ -193,6 +276,7 @@ class ResultCache:
         """
         budget = self.max_bytes if max_bytes is None else int(max_bytes)
         self._sweep_orphan_tmps()
+        self._sweep_orphan_blobs()
         entries = self._entries()
         total = sum(size for _, size, _, _ in entries)
         evicted = freed = protected = 0
@@ -207,6 +291,12 @@ class ResultCache:
                     os.unlink(path)
                 except OSError:
                     continue
+                # co-evict the certificate sidecar: its entry is gone, so
+                # leaving it would orphan the blob (size already counted)
+                try:
+                    os.unlink(self.blob_path(key))
+                except OSError:
+                    pass
                 evicted += 1
                 freed += size
                 total -= size
@@ -224,6 +314,28 @@ class ResultCache:
         if self.max_bytes > 0:
             return self.gc()
         return None
+
+    def _sweep_orphan_blobs(self) -> None:
+        """Delete ``*.cert.json`` sidecars whose pickle entry is gone
+        (an eviction raced by another process, or a crash between entry
+        delete and sidecar delete).  Session-written keys are spared: a
+        writer may be between the sidecar write and our listing."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".cert.json"):
+                continue
+            key = name[: -len(".cert.json")]
+            if key in self._session_keys:
+                continue
+            if (self.directory / f"{key}.pkl").exists():
+                continue
+            try:
+                os.unlink(self.directory / name)
+            except OSError:
+                continue
 
     def _sweep_orphan_tmps(self) -> None:
         cutoff = time.time() - _TMP_ORPHAN_SECONDS

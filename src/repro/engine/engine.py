@@ -90,6 +90,7 @@ ALGORITHMS: Dict[str, str] = {
     "explowsyn": "repro.core.explowsyn:synthesize",
     "polynomial_lower": "repro.core.polynomial_lower:synthesize",
     "table1_baseline": "repro.experiments.table1:synthesize_baseline",
+    "exact": "repro.core.runcert:synthesize_exact",
 }
 
 #: engine-level default wall-clock deadline per task (seconds).  Generous —

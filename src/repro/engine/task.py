@@ -53,7 +53,11 @@ _RESOLVE_MEMO_CAP = 64  # > the 36 specs of a full `runner all` sweep
 #: the run at oracle precision (brackets may differ from pure sweeping in
 #: the last ulps) and the tiny-model heuristic changed ``explore="auto"``
 #: engine selection, so v3 artifacts must read as misses.
-CACHE_KEY_VERSION = 4
+#: v5: run certificates — ``CertificateResult`` grew ``run_certificate``
+#: and the cache stores certificates as ``*.cert.json`` sidecar blobs
+#: reattached on read; v4 pickles lack the field and have no sidecar, so
+#: they must read as misses.
+CACHE_KEY_VERSION = 5
 
 
 def _fixpoint_fingerprint() -> str:
@@ -240,6 +244,11 @@ class CertificateResult:
     #: inputs (e.g. a requested warm start whose producer failed) — storing
     #: it would poison the cache for runs where the inputs are healthy
     cache_ok: bool = True
+    #: the run certificate payload (``RunCertificate.as_dict()``) for
+    #: synthesizers that emit one — the cache strips it into a sidecar
+    #: blob on write and reattaches it on read, so the pickled entry
+    #: itself stays certificate-free
+    run_certificate: Optional[Dict[str, Any]] = None
     task_key: str = ""
 
     @property

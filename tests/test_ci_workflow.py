@@ -3,11 +3,11 @@
 ``act``/``actions/workflow`` are not available in the test container, so
 this is the acceptance gate for ``.github/workflows/*.yml``: every file
 must be parseable YAML with the job structure the repo's CI contract
-promises (tier-1 + smoke + lint + the PR-blocking explorer-parity and
-chaos fault-injection gates on pushes and PRs, the non-blocking bench job
+promises (tier-1 + smoke + lint + the PR-blocking run-certificate and
+chaos fault-injection gates on pushes and PRs; the non-blocking bench job
 on schedule/dispatch — plus advisory on fixpoint-touching PRs via a paths
-filter — with the artifact upload and the ``REPRO_BENCH_GATE_FACTOR``
-knob).
+filter — with the artifact uploads, the nightly bitwise two-engine parity
+re-run, and the ``REPRO_BENCH_GATE_FACTOR`` knob).
 """
 
 from pathlib import Path
@@ -75,17 +75,34 @@ class TestCIWorkflow:
         assert "ruff check" in _steps_text(lint)
         assert isinstance(lint.get("timeout-minutes"), int)
 
-    def test_explorer_parity_job_gates_the_scaled_engine(self):
-        # the PR-blocking parity gate: explorer *and* solver (certified
-        # oracle bracket) regressions must fail CI, not wait for the
-        # nightly non-blocking bench run
+    def test_certificates_job_gates_the_fast_path(self):
+        # the PR-blocking certificate gate: the fast path runs ONCE per
+        # workload and its RunCertificate is independently verified —
+        # explorer/solver regressions must fail CI without the 2x bitwise
+        # two-engine re-run (that re-run is demoted to nightly bench.yml)
         data, _ = _load("ci.yml")
-        job = data["jobs"]["explorer-parity"]
+        job = data["jobs"]["certificates"]
         text = _steps_text(job)
-        assert "tools/check_explorer_parity.py" in text
+        assert "tools/check_certificates.py" in text
+        # the bitwise re-run must NOT ride on the PR gate anymore
+        assert "check_explorer_parity.py" not in text
+        # CLI round-trip: emit, verify, and assert a bit-flipped copy is
+        # rejected with exit code 1 specifically (not a crash)
+        assert "verify-certificate" in text
+        assert '--certificate' in text
+        assert 'test "$rc" -eq 1' in text
         # blocking by construction: no continue-on-error anywhere in the job
         assert not job.get("continue-on-error")
         assert all(not s.get("continue-on-error") for s in job["steps"])
+
+    def test_no_job_invokes_the_reference_engine_twice(self):
+        # acceptance bar of the certificate design: no ci.yml job pays for
+        # the bitwise two-engine re-run
+        data, _ = _load("ci.yml")
+        for job_name, job in data["jobs"].items():
+            assert "check_explorer_parity" not in _steps_text(job), (
+                f"{job_name} still runs the bitwise parity re-run"
+            )
 
     def test_chaos_job_gates_the_fault_injection_suite(self):
         # the PR-blocking chaos gate: fault-tolerance regressions (hangs,
@@ -146,3 +163,32 @@ class TestBenchWorkflow:
             s for s in job["steps"] if "upload-artifact" in str(s.get("uses", ""))
         ]
         assert uploads[0]["with"]["path"] == "BENCH_fixpoint.json"
+
+    def test_bitwise_parity_rerun_moved_to_nightly(self):
+        # the full two-engine bitwise diff still runs — nightly, where its
+        # 2x cost is acceptable — and stays blocking within bench.yml
+        data, _ = _load("bench.yml")
+        job = data["jobs"]["bench"]
+        parity_steps = [
+            s
+            for s in job["steps"]
+            if "check_explorer_parity.py" in str(s.get("run", ""))
+        ]
+        assert parity_steps, "bench.yml lost the bitwise parity re-run"
+        assert not parity_steps[0].get("continue-on-error")
+
+    def test_bench_runs_emit_and_upload_certificates(self):
+        data, _ = _load("bench.yml")
+        job = data["jobs"]["bench"]
+        bench_steps = [
+            s for s in job["steps"] if "pytest -m bench" in str(s.get("run", ""))
+        ]
+        cert_dir = bench_steps[0].get("env", {}).get("REPRO_BENCH_CERT_DIR")
+        assert cert_dir, "bench step does not request certificate emission"
+        uploads = [
+            s for s in job["steps"] if "upload-artifact" in str(s.get("uses", ""))
+        ]
+        cert_uploads = [
+            s for s in uploads if cert_dir in str(s["with"].get("path", ""))
+        ]
+        assert cert_uploads, "certificates are not uploaded as artifacts"

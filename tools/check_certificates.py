@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""PR-blocking run-certificate gate (the ``certificates`` CI job).
+
+The old ``explorer-parity`` job proved the fast path against the exact
+Fraction engine by *running everything twice* and diffing bitwise — a
+2x-cost check that only ever ran in CI.  This gate exercises the shape
+every production run now carries: the fast path runs **once**, emits its
+:class:`~repro.core.runcert.RunCertificate`, and the independent checker
+re-derives the admission inequalities and replays the frontier digests
+without re-running exploration.  The full bitwise two-engine re-run
+still exists, demoted to the nightly bench workflow
+(``tools/check_explorer_parity.py``).
+
+Sections:
+
+* **explorer grid** — the parity workloads through their forced fast
+  mode (``scaled``/``int64``); each certificate must verify both against
+  the in-memory PTS and *self-contained* (checker recompiles the source
+  embedded in the certificate);
+* **solver grid** — the solver-parity workloads through every oracle
+  (``auto``/``direct``/``sor``/``anderson``); evidence checks cover the
+  witness hash, the slack ladder and the pre/post-fixpoint margins;
+* **corruption drills** — a bit-flipped file, a tampered frontier
+  digest, a tampered admission multiplier and a stale engine
+  fingerprint (the latter three re-signed, so only the semantic check
+  can catch them) must each be *rejected*.
+
+Exit status 0 when every certificate verifies and every corruption is
+caught, 1 otherwise.  Needs ``repro`` importable (``PYTHONPATH=src``)
+and runs in seconds — no LP solver, no synthesis, no reference engine.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+# sibling tool owns the workload tables; both run with tools/ on sys.path
+import check_explorer_parity as parity
+
+
+def _emit(pts, model, result, name, source, integer_mode, max_states, explore):
+    from repro.core.runcert import emit_run_certificate
+
+    return emit_run_certificate(
+        pts,
+        model,
+        result,
+        max_states=max_states,
+        explore=explore,
+        name=name,
+        source=source,
+        integer_mode=integer_mode,
+    )
+
+
+def _resign(cert, mutate):
+    """Deep-copy ``cert``'s payload, apply ``mutate``, re-sign the digest —
+    modelling an attacker who can recompute hashes but not the run."""
+    from repro.core.runcert import RunCertificate
+
+    payload = json.loads(json.dumps(cert.payload))
+    mutate(payload)
+    return RunCertificate.from_payload(payload)
+
+
+def check_explorer_grid(failures):
+    from repro.core.fixpoint import build_sparse_model, iterate_model
+    from repro.core.runcert import verify_certificate_text, verify_run_certificate
+    from repro.lang import compile_source
+
+    certs = []
+    for name, (source, max_states, integer_mode, explore) in parity.WORKLOADS.items():
+        pts = compile_source(source, name=name, integer_mode=integer_mode).pts
+        model = build_sparse_model(pts, max_states=max_states, explore=explore)
+        result = iterate_model(model)
+        cert = _emit(pts, model, result, name, source, integer_mode, max_states, explore)
+        report = verify_run_certificate(cert, pts=pts)
+        # self-contained: the checker recompiles the embedded source
+        standalone = verify_certificate_text(cert.to_json())
+        ok = report.ok and standalone.ok
+        if not report.ok:
+            failures.extend(f"{name}: {line}" for line in report.render() if "FAIL" in line)
+        if not standalone.ok:
+            failures.extend(
+                f"{name} (standalone): {line}"
+                for line in standalone.render()
+                if "FAIL" in line
+            )
+        print(
+            f"{name:<16} {model.explored_via:<13} states={model.n:>6} "
+            f"levels={len(cert.payload['exploration']['levels']['digests']):>4} "
+            f"{'ok' if ok else 'REJECTED'}"
+        )
+        certs.append(cert)
+    return certs
+
+
+def check_solver_grid(failures):
+    from repro.core.fixpoint import build_sparse_model, iterate_model
+    from repro.core.runcert import verify_run_certificate
+    from repro.lang import compile_source
+
+    for name, (source, max_states, integer_mode, _) in parity.SOLVER_WORKLOADS.items():
+        pts = compile_source(source, name=name, integer_mode=integer_mode).pts
+        model = build_sparse_model(pts, max_states=max_states)
+        for solver in ("auto", "direct", "sor", "anderson"):
+            result = iterate_model(model, solver=solver)
+            cert = _emit(
+                pts, model, result, name, source, integer_mode, max_states, "auto"
+            )
+            report = verify_run_certificate(cert, pts=pts)
+            if not report.ok:
+                failures.extend(
+                    f"{name}[{solver}]: {line}"
+                    for line in report.render()
+                    if "FAIL" in line
+                )
+            print(
+                f"{name:<16} {solver:<9} used={result.solver:<9} "
+                f"certified={str(result.certified):<5} "
+                f"{'ok' if report.ok else 'REJECTED'}"
+            )
+
+
+def check_corruption(cert, failures):
+    """Every drill must *fail* verification; passing one is a gate bug."""
+    from repro.core.runcert import verify_certificate_text
+
+    def flip(payload):
+        payload["exploration"]["levels"]["digests"][0] = (
+            "0" * 64
+            if payload["exploration"]["levels"]["digests"][0] != "0" * 64
+            else "f" * 64
+        )
+
+    def bounds(payload):
+        payload["exploration"]["admission"]["guards"][0]["mult"] += 1
+
+    def stale(payload):
+        payload["fingerprints"]["fixpoint"] = "pre-certificate-engine.v0"
+
+    raw = bytearray(cert.to_json().encode("utf-8"))
+    raw[len(raw) // 2] ^= 0x20  # flip one bit mid-file
+    drills = [
+        ("bit-flipped file", verify_certificate_text(raw.decode("utf-8", "replace"))),
+        ("tampered digest", verify_certificate_text(_resign(cert, flip).to_json())),
+        ("tampered bounds", verify_certificate_text(_resign(cert, bounds).to_json())),
+        ("stale fingerprint", verify_certificate_text(_resign(cert, stale).to_json())),
+    ]
+    for label, report in drills:
+        caught = not report.ok
+        if not caught:
+            failures.append(f"corruption drill {label!r} was ACCEPTED")
+        first = report.failures[0][0] if report.failures else "-"
+        print(f"corrupt: {label:<18} rejected={str(caught):<5} first-fail={first}")
+
+
+def main() -> int:
+    failures: list = []
+    certs = check_explorer_grid(failures)
+    print()
+    check_solver_grid(failures)
+    print()
+    # drill against a scaled-lattice certificate: it has the richest
+    # payload (admission record with non-unit multipliers)
+    check_corruption(certs[0], failures)
+    if failures:
+        print(f"\ncertificate gate FAILED ({len(failures)} problem(s)):")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print(
+        f"\ncertificate gate ok: {len(parity.WORKLOADS)} explorer workload(s) + "
+        f"{len(parity.SOLVER_WORKLOADS)} solver workload(s) x 4 solvers "
+        "verified; 4 corruption drills rejected"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
