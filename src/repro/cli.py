@@ -15,6 +15,11 @@ Commands
                independently check a run certificate — re-derive the
                admission bounds and replay the frontier digests without
                re-running exploration; exit 0 pass / 1 fail / 2 not found
+``fuzz``       differential-fuzzing farm: generate workloads, run every
+               explorer/solver lowering as an engine task DAG, cross-check
+               brackets and verify every run certificate; discrepancies
+               shrink to minimal reproducers and are archived with their
+               replay seed
 ``bench``      time the sparse fixpoint engine (vs the legacy reference)
                and append the results to ``BENCH_fixpoint.json``
 ``selftest``   one fast task per synthesis family through the analysis
@@ -220,6 +225,35 @@ def _cmd_verify_certificate(args) -> int:
         return 0
     print("verdict         : FAIL")
     return 1
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import ALL_FAMILIES, run_farm
+
+    families = None
+    if args.families:
+        families = tuple(f.strip() for f in args.families.split(",") if f.strip())
+        unknown = [f for f in families if f not in ALL_FAMILIES]
+        if unknown:
+            print(
+                f"error: unknown families {', '.join(unknown)} "
+                f"(choose from {', '.join(ALL_FAMILIES)})",
+                file=sys.stderr,
+            )
+            return 1
+    report = run_farm(
+        seed=args.seed,
+        count=args.count,
+        families=families,
+        jobs=args.jobs,
+        max_states=args.max_states,
+        out_dir=args.out,
+        inject=args.inject,
+        shrink=not args.no_shrink,
+    )
+    for line in report.render():
+        print(line)
+    return 0 if report.ok else 1
 
 
 def _cmd_bench(args) -> int:
@@ -623,6 +657,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="compile --program without integer tightening",
     )
     p_verify.set_defaults(fn=_cmd_verify_certificate)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential-fuzzing farm over generated workloads",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0, help="farm seed (recorded in every artifact)"
+    )
+    p_fuzz.add_argument(
+        "--count", type=int, default=20, help="number of programs to generate"
+    )
+    p_fuzz.add_argument(
+        "--families",
+        default="",
+        help="comma-separated families (default: the four farm families)",
+    )
+    p_fuzz.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="engine workers the task grid fans out over (0 = all cores)",
+    )
+    p_fuzz.add_argument(
+        "--max-states", type=int, default=4096, help="state budget per run"
+    )
+    p_fuzz.add_argument(
+        "--out",
+        default=".fuzz-corpus",
+        help="archive directory for corpus entries and failure artifacts",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip shrinking discrepancies to minimal reproducers",
+    )
+    p_fuzz.add_argument(
+        "--inject",
+        default=None,
+        metavar="SUBSTR",
+        help="plant a synthetic bracket corruption into programs whose "
+        "name contains SUBSTR ('*' = all) — self-test of the "
+        "detect/shrink/archive path",
+    )
+    p_fuzz.set_defaults(fn=_cmd_fuzz)
 
     p_bench = sub.add_parser(
         "bench", help="benchmark the fixpoint engine, append BENCH_fixpoint.json"

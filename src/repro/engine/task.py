@@ -83,6 +83,11 @@ class ProgramSpec:
     params: Tuple[Tuple[str, Any], ...] = ()
     source: str = ""
     integer_mode: bool = True
+    #: "auto" generates interval invariants on resolve; "none" skips them.
+    #: Algorithms that never read invariants (value-iteration brackets —
+    #: the fuzz farm runs thousands of those) opt out: interval-invariant
+    #: generation costs orders of magnitude more than the iteration.
+    invariants: str = "auto"
 
     @staticmethod
     def benchmark(name: str, **params) -> "ProgramSpec":
@@ -90,10 +95,17 @@ class ProgramSpec:
 
     @staticmethod
     def from_source(
-        source: str, name: str = "program", integer_mode: bool = True
+        source: str,
+        name: str = "program",
+        integer_mode: bool = True,
+        invariants: str = "auto",
     ) -> "ProgramSpec":
         return ProgramSpec(
-            kind="source", name=name, source=source, integer_mode=integer_mode
+            kind="source",
+            name=name,
+            source=source,
+            integer_mode=integer_mode,
+            invariants=invariants,
         )
 
     def resolve(self):
@@ -115,29 +127,38 @@ class ProgramSpec:
             inst = get_benchmark(self.name, **dict(self.params))
             resolved = inst.pts, inst.invariants
         else:
-            from repro.core.invariants import generate_interval_invariants
             from repro.lang import compile_source
 
             result = compile_source(
                 self.source, integer_mode=self.integer_mode, name=self.name
             )
-            invariants = generate_interval_invariants(result.pts)
-            if result.invariants:
-                invariants = invariants.merged_with(result.invariants)
-            resolved = result.pts, invariants
+            if self.invariants == "none":
+                resolved = result.pts, result.invariants
+            else:
+                from repro.core.invariants import generate_interval_invariants
+
+                invariants = generate_interval_invariants(result.pts)
+                if result.invariants:
+                    invariants = invariants.merged_with(result.invariants)
+                resolved = result.pts, invariants
         while len(_RESOLVE_MEMO) >= _RESOLVE_MEMO_CAP:
             _RESOLVE_MEMO.pop(next(iter(_RESOLVE_MEMO)))
         _RESOLVE_MEMO[self] = resolved
         return resolved
 
     def canonical(self) -> Dict[str, Any]:
-        return {
+        data = {
             "kind": self.kind,
             "name": self.name,
             "params": [[k, repr(v)] for k, v in self.params],
             "source": self.source,
             "integer_mode": self.integer_mode,
         }
+        # only stamped when non-default, so every pre-existing cache key
+        # (and sidecar certificate) stays bit-identical
+        if self.invariants != "auto":
+            data["invariants"] = self.invariants
+        return data
 
 
 @dataclass(frozen=True)

@@ -137,6 +137,21 @@ FIXPOINT_WORKLOADS: Dict[str, Tuple[str, int, bool]] = {
     ),
 }
 
+# promoted finds from the fuzzing farm's generated corpus (see
+# repro.programs.fuzzed for the replay triples): frozen text shared with
+# the registry so benchmark and program can never drift apart.  Small
+# state spaces — the pure-Python reference comparison stays cheap, and
+# the perf gate is untouched (no recorded baseline means no gate).
+from repro.programs.fuzzed import FUZZED_SOURCES as _FUZZED_SOURCES  # noqa: E402
+
+FIXPOINT_WORKLOADS.update(
+    {
+        "fz-queue-surge": (_FUZZED_SOURCES["fz-queue-surge"], 5_000, True),
+        "fz-grid-trap": (_FUZZED_SOURCES["fz-grid-trap"], 5_000, True),
+        "fz-lattice-strain": (_FUZZED_SOURCES["fz-lattice-strain"], 5_000, False),
+    }
+)
+
 #: workloads whose pure-sweep iteration counts make the pure-Python
 #: reference engine impractical (minutes to hours): both bench producers
 #: skip the reference comparison here and validate the bracket against

@@ -1,0 +1,68 @@
+"""Generated workload corpus + certificate-oracle differential fuzzing.
+
+``repro.fuzz`` turns the certificate checker into a cheap differential
+oracle: :mod:`.generators` emit parameterized surface programs
+(queueing chains, gridworlds, inventory loops, mixed-lattice drifts,
+grammar-random programs), :mod:`.farm` lowers each one through every
+admitted explorer/solver mode as an engine task DAG and cross-checks
+brackets, admission and run certificates, :mod:`.shrink` reduces any
+discrepancy to a locally-minimal reproducer, and :mod:`.corpus`
+archives everything with its deterministic replay triple
+``(generator_version, family, seed)``.
+"""
+
+from .corpus import (
+    CORPUS_FORMAT,
+    CorpusError,
+    corpus_entry,
+    failure_entry,
+    load_entry,
+    regenerate,
+    write_entry,
+)
+from .farm import (
+    DEFAULT_SOLVERS,
+    Discrepancy,
+    FarmReport,
+    ProgramVerdict,
+    check_source,
+    cross_check_cells,
+    run_farm,
+)
+from .generators import (
+    ALL_FAMILIES,
+    FAMILIES,
+    GENERATOR_VERSION,
+    GeneratedProgram,
+    ProgramGenerator,
+    corpus_plan,
+    generate,
+    program_seed,
+)
+from .shrink import shrink_source
+
+__all__ = [
+    "ALL_FAMILIES",
+    "CORPUS_FORMAT",
+    "CorpusError",
+    "DEFAULT_SOLVERS",
+    "Discrepancy",
+    "FAMILIES",
+    "FarmReport",
+    "GENERATOR_VERSION",
+    "GeneratedProgram",
+    "ProgramGenerator",
+    "ProgramVerdict",
+    "check_source",
+    "corpus_entry",
+    "corpus_plan",
+    "cross_check_cells",
+    "failure_entry",
+    "generate",
+    "load_entry",
+    "program_seed",
+    "regenerate",
+    "run_farm",
+    "shrink_source",
+    "write_entry",
+]

@@ -1,0 +1,441 @@
+"""Parameterized workload generators for the differential-fuzzing farm.
+
+Every generator emits a *surface program* (the indentation-structured
+language of :mod:`repro.lang`), never a hand-built PTS: a fuzzed run
+exercises the whole lexer -> parser -> compiler -> PTS path before a
+single state is explored.  Four named families cover shapes the curated
+bench table does not:
+
+* ``birth-death`` — bounded queueing chains (arrive/serve/idle switch,
+  nested service guard) on the integer lattice;
+* ``gridworld`` — multi-dimensional walks with a resetting obstacle cell
+  and wall guards, integer lattice;
+* ``inventory`` — restocking loops with a demand coin and a threshold
+  trigger, asserting on cumulative sales;
+* ``mixed-lattice`` — fractional drift steps whose denominators range up
+  to (and occasionally *past*) the ``1e6`` scale cap, mixed with integer
+  counters — the family that stresses scaled-lattice admission in both
+  directions (admit with a huge multiplier / refuse outright).
+
+A fifth family, ``random``, wraps :class:`ProgramGenerator` — the
+grammar-directed generator that used to live privately in
+``tests/test_random_programs.py`` — extended beyond its original two
+variables and 1/8-grid probabilities with nested conditionals,
+fractional constants near the lattice cap, and profiles that force
+``integrality()`` scale rejection.
+
+Determinism is the whole contract: ``generate(family, seed)`` is a pure
+function of ``(GENERATOR_VERSION, family, seed)``, so any corpus entry
+or nightly failure artifact that records those three fields replays to
+the identical program text.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: bump on ANY change to generator output for existing (family, seed)
+#: pairs — corpus entries record it, and replay refuses on mismatch.
+GENERATOR_VERSION = "fuzz-gen.v1"
+
+#: the four farm families from the ROADMAP's scenario-diversity item.
+FAMILIES: Tuple[str, ...] = ("birth-death", "gridworld", "inventory", "mixed-lattice")
+
+#: everything `generate` accepts (the farm defaults to FAMILIES).
+ALL_FAMILIES: Tuple[str, ...] = FAMILIES + ("random",)
+
+#: scale cap mirrored from repro.pts.model._SCALE_LIMIT — denominators at
+#: or below admit the scaled-int64 explorer, anything above must refuse.
+SCALE_LIMIT = 10**6
+
+#: a prime just past the cap: guaranteed scale rejection.
+OVER_CAP_DENOMINATOR = 1_000_003
+
+#: a prime just under the cap: admitted, with a near-maximal multiplier.
+NEAR_CAP_DENOMINATOR = 999_983
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One fuzzed workload: replayable from ``(family, seed)`` alone."""
+
+    name: str
+    family: str
+    seed: int
+    generator_version: str
+    source: str
+    integer_mode: bool
+    params: Dict[str, object] = field(default_factory=dict, compare=False)
+
+
+def _rng(family: str, seed: int) -> random.Random:
+    return random.Random(f"{GENERATOR_VERSION}/{family}/{seed}")
+
+
+# ---------------------------------------------------------------------------
+# birth-death / queueing chains
+
+
+def _gen_birth_death(rng: random.Random):
+    horizon = rng.randint(8, 24)
+    q0 = rng.randint(0, 2)
+    cap = rng.randint(q0 + 2, q0 + 7)
+    den = rng.choice((8, 10, 16, 100, 997))
+    arrive = rng.randint(1, den - 2)
+    serve = rng.randint(1, den - 1 - arrive)
+    idle = den - arrive - serve
+    arms = [
+        f"        prob({arrive}/{den}): q := q + 1",
+        f"        prob({serve}/{den}):\n"
+        "            if q >= 1:\n"
+        "                q := q - 1\n"
+        "            else:\n"
+        "                skip",
+    ]
+    if idle:
+        arms.append(f"        prob({idle}/{den}): skip")
+    rng.shuffle(arms)
+    source = (
+        f"q := {q0}\n"
+        "t := 0\n"
+        f"while t <= {horizon}:\n"
+        "    switch:\n" + "\n".join(arms) + "\n"
+        "    t := t + 1\n"
+        f"assert q <= {cap}"
+    )
+    params = {"horizon": horizon, "cap": cap, "den": den, "arrive": arrive, "serve": serve}
+    return source, True, params
+
+
+# ---------------------------------------------------------------------------
+# gridworlds with obstacles
+
+
+def _gen_gridworld(rng: random.Random):
+    width = rng.randint(3, 6)
+    height = rng.randint(3, 6)
+    horizon = rng.randint(6, 16)
+    den = rng.choice((8, 10, 12))
+    weights = [rng.randint(1, 4) for _ in range(3)]
+    weights.append(max(1, den - sum(weights)))
+    den = sum(weights)
+    east, north, west, south = weights
+    ox = rng.randint(1, width - 1)
+    oy = rng.randint(1, height - 1)
+    goal = rng.randint(max(width, height), width + height - 1)
+    source = (
+        "x := 0\n"
+        "y := 0\n"
+        "t := 0\n"
+        f"while t <= {horizon}:\n"
+        "    switch:\n"
+        f"        prob({east}/{den}):\n"
+        f"            if x <= {width - 1}:\n"
+        "                x := x + 1\n"
+        f"        prob({north}/{den}):\n"
+        f"            if y <= {height - 1}:\n"
+        "                y := y + 1\n"
+        f"        prob({west}/{den}):\n"
+        "            if x >= 1:\n"
+        "                x := x - 1\n"
+        f"        prob({south}/{den}):\n"
+        "            if y >= 1:\n"
+        "                y := y - 1\n"
+        f"    if x == {ox} and y == {oy}:\n"
+        "        x, y := 0, 0\n"
+        "    t := t + 1\n"
+        f"assert x + y <= {goal}"
+    )
+    params = {
+        "width": width,
+        "height": height,
+        "horizon": horizon,
+        "obstacle": (ox, oy),
+        "goal": goal,
+    }
+    return source, True, params
+
+
+# ---------------------------------------------------------------------------
+# inventory / restocking
+
+
+def _gen_inventory(rng: random.Random):
+    days = rng.randint(8, 20)
+    restock_at = rng.randint(1, 3)
+    batch = rng.randint(2, 4)
+    inv0 = rng.randint(restock_at + 1, restock_at + batch + 2)
+    den = rng.choice((4, 8, 10, 100))
+    demand = rng.randint(1, den - 1)
+    target = rng.randint(days // 2, days)
+    source = (
+        f"inv := {inv0}\n"
+        "sold := 0\n"
+        "day := 0\n"
+        f"while day <= {days}:\n"
+        f"    if prob({demand}/{den}):\n"
+        "        if inv >= 1:\n"
+        "            inv, sold := inv - 1, sold + 1\n"
+        f"    if inv <= {restock_at}:\n"
+        f"        inv := inv + {batch}\n"
+        "    day := day + 1\n"
+        f"assert sold <= {target}"
+    )
+    params = {
+        "days": days,
+        "restock_at": restock_at,
+        "batch": batch,
+        "demand": (demand, den),
+        "target": target,
+    }
+    return source, True, params
+
+
+# ---------------------------------------------------------------------------
+# mixed-lattice programs stressing scaled admission
+
+
+def _gen_mixed_lattice(rng: random.Random):
+    horizon = rng.randint(8, 20)
+    roll = rng.random()
+    if roll < 0.2:
+        den = OVER_CAP_DENOMINATOR  # must be *refused* by scaled admission
+    elif roll < 0.45:
+        den = NEAR_CAP_DENOMINATOR  # admitted with a near-maximal multiplier
+    else:
+        den = rng.choice((4, 10, 20, 100, 1000, 9973))
+    up = rng.randint(1, 3)
+    down = rng.randint(1, 3)
+    pden = rng.choice((4, 8, 10))
+    pnum = rng.randint(1, pden - 1)
+    # threshold (2m+1)/(2*den): the odd numerator never lands exactly on
+    # the x-lattice (multiples of 1/den), so the assert boundary stays
+    # away from state points while m/den sits inside the reachable range.
+    # Written as a constant fraction (coefficient 1 on x) so the guard
+    # row stays inside the rescaled-magnitude admission bound even at
+    # near-cap denominators — the scaled fast path actually runs there
+    thresh = 2 * rng.randint(1, max(1, horizon * up - 1)) + 1
+    source = (
+        "x := 0\n"
+        "t := 0\n"
+        f"while t <= {horizon}:\n"
+        f"    if prob({pnum}/{pden}):\n"
+        f"        x := x + {up}/{den}\n"
+        "    else:\n"
+        f"        x := x - {down}/{den}\n"
+        "    t := t + 1\n"
+        f"assert x <= {thresh}/{2 * den}"
+    )
+    params = {
+        "horizon": horizon,
+        "den": den,
+        "step": (up, down),
+        "p": (pnum, pden),
+        "over_cap": den > SCALE_LIMIT,
+    }
+    return source, False, params
+
+
+# ---------------------------------------------------------------------------
+# grammar-directed random programs (ported from tests/test_random_programs.py)
+
+
+class ProgramGenerator:
+    """Generate random surface programs through the full grammar.
+
+    Ported from the test-local generator and extended past its original
+    limits (two variables, probabilities on the 1/8 grid, flat bodies):
+
+    * three variables by default, integer shifts up to +-3;
+    * probabilities drawn over denominators up to 997 (fork probabilities
+      never touch the state lattice, so large denominators are free);
+    * nested ``if <cmp>: ... else: ...`` conditionals alongside
+      probabilistic branches and switches;
+    * profile ``"fractional"`` mixes in update constants with
+      denominators near the 1e6 lattice cap (scaled admission with huge
+      multipliers);
+    * profile ``"reject"`` guarantees a statement ``integrality()`` must
+      refuse to scale — an over-cap denominator or a contractive
+      ``v := v / 2`` update.
+
+    Profile ``"pipeline"`` (the default) stays on the integer lattice and
+    is what the hypothesis pipeline test drives end to end.
+    """
+
+    PROFILES = ("pipeline", "fractional", "reject")
+    PROB_DENOMINATORS = (8, 10, 997)
+    FRACTION_DENOMINATORS = (3, 7, 1000, NEAR_CAP_DENOMINATOR)
+
+    def __init__(
+        self,
+        rng: random.Random,
+        variables: Sequence[str] = ("a", "b", "c"),
+        profile: str = "pipeline",
+    ):
+        if profile not in self.PROFILES:
+            raise ValueError(f"unknown profile {profile!r}")
+        self.rng = rng
+        self.variables = list(variables)
+        self.profile = profile
+
+    @property
+    def integer_mode(self) -> bool:
+        """Strict-guard tightening (``e < 0`` -> ``e <= -1``) is only sound
+        on the integer lattice; fractional profiles compile real-valued."""
+        return self.profile == "pipeline"
+
+    # -- expressions ---------------------------------------------------------
+    def probability(self) -> str:
+        den = self.rng.choice(self.PROB_DENOMINATORS)
+        num = self.rng.randint(1, den - 1)
+        return f"{num}/{den}"
+
+    def shift_expression(self, variable: str) -> str:
+        if self.profile != "pipeline" and self.rng.random() < 0.5:
+            den = self.rng.choice(self.FRACTION_DENOMINATORS)
+            num = self.rng.randint(1, 2)
+            sign = self.rng.choice(("+", "-"))
+            return f"{variable} {sign} {num}/{den}"
+        shift = self.rng.randint(-2, 3)
+        if shift >= 0:
+            return f"{variable} + {shift}"
+        return f"{variable} - {-shift}"
+
+    def rejecting_assignment(self, indent: str) -> str:
+        v = self.rng.choice(self.variables)
+        if self.rng.random() < 0.5:
+            # denominator past the 1e6 cap: scale analysis gives up
+            return f"{indent}{v} := {v} + 1/{OVER_CAP_DENOMINATOR}"
+        # contraction: the per-variable denominator doubles every coupling
+        # pass until it blows through the cap
+        return f"{indent}{v} := {v} / 2 + 1"
+
+    # -- statements ----------------------------------------------------------
+    def assignment(self, indent: str) -> str:
+        v = self.rng.choice(self.variables)
+        return f"{indent}{v} := {self.shift_expression(v)}"
+
+    def prob_branch(self, indent: str, depth: int) -> str:
+        inner = indent + "    "
+        then_block = self.block(inner, depth - 1)
+        else_block = self.block(inner, depth - 1)
+        return (
+            f"{indent}if prob({self.probability()}):\n{then_block}\n"
+            f"{indent}else:\n{else_block}"
+        )
+
+    def cond_branch(self, indent: str, depth: int) -> str:
+        v = self.rng.choice(self.variables)
+        bound = self.rng.randint(-2, 4)
+        op = self.rng.choice(("<=", ">="))
+        inner = indent + "    "
+        then_block = self.block(inner, depth - 1)
+        else_block = self.block(inner, depth - 1)
+        return (
+            f"{indent}if {v} {op} {bound}:\n{then_block}\n"
+            f"{indent}else:\n{else_block}"
+        )
+
+    def switch(self, indent: str) -> str:
+        den = self.rng.choice(self.PROB_DENOMINATORS)
+        first = self.rng.randint(1, den - 1)
+        inner = indent + "    "
+        return (
+            f"{indent}switch:\n"
+            f"{inner}prob({first}/{den}): {self.assignment('')}\n"
+            f"{inner}prob({den - first}/{den}): {self.assignment('')}"
+        )
+
+    def block(self, indent: str, depth: int) -> str:
+        choices = ["assignment", "switch"]
+        if depth > 0:
+            choices += ["prob_branch", "cond_branch"]
+        kind = self.rng.choice(choices)
+        if kind == "assignment":
+            return self.assignment(indent)
+        if kind == "switch":
+            return self.switch(indent)
+        if kind == "cond_branch":
+            return self.cond_branch(indent, depth)
+        return self.prob_branch(indent, depth)
+
+    # -- whole programs ------------------------------------------------------
+    def program(self) -> str:
+        fuel = self.rng.randint(4, 9)
+        lines = [f"{v} := {self.rng.randint(-1, 1)}" for v in self.variables]
+        lines.append("fuel := 0")
+        body = self.block("    ", depth=2)
+        extra = ""
+        if self.profile == "reject":
+            extra = self.rejecting_assignment("    ") + "\n"
+        target = self.rng.choice(self.variables)
+        op = self.rng.choice(("<=", ">="))
+        threshold = self.rng.randint(0, 4)
+        lines.append(
+            f"while fuel <= {fuel}:\n{body}\n{extra}    fuel := fuel + 1"
+        )
+        lines.append(f"assert {target} {op} {threshold}")
+        return "\n".join(lines)
+
+
+def _gen_random(rng: random.Random):
+    roll = rng.random()
+    if roll < 0.6:
+        profile = "pipeline"
+    elif roll < 0.85:
+        profile = "fractional"
+    else:
+        profile = "reject"
+    gen = ProgramGenerator(rng, profile=profile)
+    return gen.program(), gen.integer_mode, {"profile": profile}
+
+
+_FAMILY_BUILDERS = {
+    "birth-death": _gen_birth_death,
+    "gridworld": _gen_gridworld,
+    "inventory": _gen_inventory,
+    "mixed-lattice": _gen_mixed_lattice,
+    "random": _gen_random,
+}
+
+
+def generate(family: str, seed: int) -> GeneratedProgram:
+    """The deterministic entry point: pure in ``(version, family, seed)``."""
+    builder = _FAMILY_BUILDERS.get(family)
+    if builder is None:
+        raise ValueError(
+            f"unknown fuzz family {family!r} (choose from {', '.join(ALL_FAMILIES)})"
+        )
+    source, integer_mode, params = builder(_rng(family, seed))
+    return GeneratedProgram(
+        name=f"fz-{family}-s{seed}",
+        family=family,
+        seed=seed,
+        generator_version=GENERATOR_VERSION,
+        source=source,
+        integer_mode=integer_mode,
+        params=params,
+    )
+
+
+def program_seed(farm_seed: int, index: int) -> int:
+    """Per-program seed derivation: distinct farm seeds give disjoint
+    streams (1e6-ish stride), and every program seed is recorded on its
+    own so replay never needs the farm context."""
+    return farm_seed * 1_000_003 + index
+
+
+def corpus_plan(
+    seed: int, count: int, families: Optional[Sequence[str]] = None
+) -> List[GeneratedProgram]:
+    """Round-robin ``count`` programs over ``families`` (default: the four
+    farm families), each generated from its derived per-program seed."""
+    chosen = tuple(families) if families else FAMILIES
+    for fam in chosen:
+        if fam not in _FAMILY_BUILDERS:
+            raise ValueError(f"unknown fuzz family {fam!r}")
+    return [
+        generate(chosen[i % len(chosen)], program_seed(seed, i)) for i in range(count)
+    ]

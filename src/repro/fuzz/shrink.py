@@ -1,0 +1,103 @@
+"""Greedy structural shrinking of surface programs.
+
+Given a failing program and a predicate that re-runs the farm's
+cross-check on candidate text, :func:`shrink_source` repeatedly tries
+two classes of reductions and keeps any candidate on which the predicate
+still holds:
+
+* **block removal** — drop a line together with its more-indented suite
+  (a whole ``while``/``if``/``switch`` body in one step, a single
+  statement at the leaves);
+* **literal reduction** — pull integer literals toward zero (halving,
+  then 1), which shrinks horizons, thresholds and denominators.
+
+Candidates that no longer compile simply fail the predicate and are
+rejected, so no grammar knowledge lives here.  Every accepted step
+strictly decreases ``(line count, sum of literals)``, so the loop
+terminates; ``max_evals`` caps predicate cost regardless.  The result is
+a *local* minimum — the smallest program this greedy pass can reach, not
+a global one — which is exactly what a human debugging a nightly finding
+wants to start from.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterator, List, Optional
+
+_INT = re.compile(r"\d+")
+
+
+def _indent(line: str) -> int:
+    return len(line) - len(line.lstrip(" "))
+
+
+def _removal_candidates(source: str) -> Iterator[str]:
+    lines = source.split("\n")
+    n = len(lines)
+    for i in range(n):
+        if not lines[i].strip():
+            continue
+        depth = _indent(lines[i])
+        j = i + 1
+        while j < n and (not lines[j].strip() or _indent(lines[j]) > depth):
+            j += 1
+        remaining = lines[:i] + lines[j:]
+        if any(ln.strip() for ln in remaining):
+            yield "\n".join(remaining)
+
+
+def _literal_candidates(source: str) -> Iterator[str]:
+    for match in _INT.finditer(source):
+        value = int(match.group())
+        for smaller in (value // 2, 1):
+            if smaller < value and smaller >= 0:
+                yield source[: match.start()] + str(smaller) + source[match.end() :]
+
+
+def _cost(source: str) -> tuple:
+    lines = [ln for ln in source.split("\n") if ln.strip()]
+    return (len(lines), sum(int(m.group()) for m in _INT.finditer(source)))
+
+
+def shrink_source(
+    source: str,
+    predicate: Callable[[str], bool],
+    max_evals: int = 400,
+) -> Optional[str]:
+    """Return a locally-minimal program on which ``predicate`` holds, or
+    ``None`` when it does not even hold on ``source`` (nothing to shrink
+    — the discrepancy is not deterministic under the reduced re-check)."""
+    evals = 0
+
+    def holds(candidate: str) -> bool:
+        nonlocal evals
+        evals += 1
+        try:
+            return bool(predicate(candidate))
+        except Exception:
+            return False
+
+    if not holds(source):
+        return None
+    current = source
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        passes: List[Iterator[str]] = [
+            _removal_candidates(current),
+            _literal_candidates(current),
+        ]
+        for candidates in passes:
+            for candidate in candidates:
+                if evals >= max_evals:
+                    break
+                if _cost(candidate) >= _cost(current):
+                    continue
+                if holds(candidate):
+                    current = candidate
+                    improved = True
+                    break
+            if improved:
+                break
+    return current

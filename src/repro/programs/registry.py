@@ -79,7 +79,13 @@ def register(name: str):
 def get_benchmark(name: str, **params) -> BenchmarkInstance:
     """Instantiate a registered benchmark by name."""
     # import the family modules so their registrations run
-    from repro.programs import concentration, deviation, hardware, stoinv  # noqa: F401
+    from repro.programs import (  # noqa: F401
+        concentration,
+        deviation,
+        fuzzed,
+        hardware,
+        stoinv,
+    )
 
     if name not in BENCHMARKS:
         raise ModelError(

@@ -3,11 +3,12 @@
 ``act``/``actions/workflow`` are not available in the test container, so
 this is the acceptance gate for ``.github/workflows/*.yml``: every file
 must be parseable YAML with the job structure the repo's CI contract
-promises (tier-1 + smoke + lint + the PR-blocking run-certificate and
-chaos fault-injection gates on pushes and PRs; the non-blocking bench job
-on schedule/dispatch — plus advisory on fixpoint-touching PRs via a paths
-filter — with the artifact uploads, the nightly bitwise two-engine parity
-re-run, and the ``REPRO_BENCH_GATE_FACTOR`` knob).
+promises (tier-1 + smoke + lint + the PR-blocking run-certificate,
+chaos fault-injection, and seeded fuzz-smoke gates on pushes and PRs;
+the non-blocking bench job on schedule/dispatch — plus advisory on
+fixpoint-touching PRs via a paths filter — with the artifact uploads,
+the nightly bitwise two-engine parity re-run, the budgeted fresh-seed
+fuzzing farm, and the ``REPRO_BENCH_GATE_FACTOR`` knob).
 """
 
 from pathlib import Path
@@ -117,6 +118,20 @@ class TestCIWorkflow:
         assert not job.get("continue-on-error")
         assert all(not s.get("continue-on-error") for s in job["steps"])
 
+    def test_fuzz_smoke_job_gates_the_seeded_differential_slice(self):
+        # the PR-blocking fuzz gate: fixed-seed generator determinism,
+        # farm oracle drills, and the certificate-as-oracle pins — the
+        # open-ended fresh-seed farm stays nightly (bench.yml) so PRs
+        # never block on luck, only on the reproducible slice
+        data, _ = _load("ci.yml")
+        job = data["jobs"]["fuzz-smoke"]
+        text = _steps_text(job)
+        assert "pytest -m fuzz_smoke" in text
+        assert isinstance(job.get("timeout-minutes"), int)
+        # blocking by construction: no continue-on-error anywhere in the job
+        assert not job.get("continue-on-error")
+        assert all(not s.get("continue-on-error") for s in job["steps"])
+
     def test_pip_caching_is_enabled(self):
         data, _ = _load("ci.yml")
         for job_name, job in data["jobs"].items():
@@ -176,6 +191,23 @@ class TestBenchWorkflow:
         ]
         assert parity_steps, "bench.yml lost the bitwise parity re-run"
         assert not parity_steps[0].get("continue-on-error")
+
+    def test_fuzz_farm_job_runs_budgeted_on_fresh_seeds(self):
+        # the nightly farm: fresh seed base per run (github.run_id), a
+        # wall-clock budget so the job can never outgrow its timeout, and
+        # the corpus/failure artifacts uploaded even when the farm fails
+        data, _ = _load("bench.yml")
+        job = data["jobs"]["fuzz"]
+        text = _steps_text(job)
+        assert "tools/run_fuzz_farm.py" in text
+        assert "--budget-seconds" in text
+        assert "github.run_id" in text
+        assert isinstance(job.get("timeout-minutes"), int)
+        uploads = [
+            s for s in job["steps"] if "upload-artifact" in str(s.get("uses", ""))
+        ]
+        assert uploads and uploads[0].get("if") == "always()"
+        assert "fuzz-artifacts" in str(uploads[0]["with"].get("path", ""))
 
     def test_bench_runs_emit_and_upload_certificates(self):
         data, _ = _load("bench.yml")

@@ -1,0 +1,265 @@
+"""The fuzz generators: determinism, family semantics, lattice stress.
+
+Also the certificate-as-oracle regression pins (one per new workload
+family): each pinned program is regenerated from its recorded
+``(family, seed)`` and its value-iteration bracket must land on the
+value measured at promotion time — so an engine change that moves any
+bracket on these adversarial shapes fails loudly.
+"""
+
+import pytest
+
+from repro.fuzz import (
+    ALL_FAMILIES,
+    FAMILIES,
+    GENERATOR_VERSION,
+    CorpusError,
+    corpus_entry,
+    corpus_plan,
+    failure_entry,
+    generate,
+    load_entry,
+    program_seed,
+    regenerate,
+    write_entry,
+)
+from repro.fuzz.generators import (
+    NEAR_CAP_DENOMINATOR,
+    OVER_CAP_DENOMINATOR,
+    ProgramGenerator,
+)
+from repro.lang import compile_source
+from repro.core.fixpoint import value_iteration
+from repro.pts import validate_pts
+
+pytestmark = pytest.mark.fuzz_smoke
+
+
+def _compile(program):
+    return compile_source(
+        program.source, integer_mode=program.integer_mode, name=program.name
+    ).pts
+
+
+class TestDeterminism:
+    def test_generate_is_pure_in_family_and_seed(self):
+        for family in ALL_FAMILIES:
+            for seed in (0, 7, 12345):
+                a, b = generate(family, seed), generate(family, seed)
+                assert a == b
+                assert a.source == b.source
+                assert a.generator_version == GENERATOR_VERSION
+
+    def test_distinct_seeds_distinct_programs(self):
+        sources = {generate("birth-death", s).source for s in range(8)}
+        assert len(sources) > 1
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown fuzz family"):
+            generate("nope", 0)
+        with pytest.raises(ValueError, match="unknown fuzz family"):
+            corpus_plan(0, 2, families=("birth-death", "nope"))
+
+    def test_corpus_plan_round_robins_with_derived_seeds(self):
+        plan = corpus_plan(9, 6)
+        assert [p.family for p in plan] == list(FAMILIES) + list(FAMILIES[:2])
+        assert [p.seed for p in plan] == [program_seed(9, i) for i in range(6)]
+        # derived streams of different farm seeds never collide
+        assert program_seed(9, 0) != program_seed(10, 0)
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_compiles_and_validates(self, family):
+        for seed in range(4):
+            program = generate(family, seed)
+            pts = _compile(program)
+            report = validate_pts(pts)
+            assert report.ok, f"{program.name}\n{report.problems}\n{program.source}"
+
+    def test_integer_families_stay_on_the_integer_lattice(self):
+        for family in ("birth-death", "gridworld", "inventory"):
+            for seed in range(4):
+                program = generate(family, seed)
+                assert program.integer_mode
+                assert _compile(program).integrality().integral, program.source
+
+    def test_mixed_lattice_stresses_scaled_admission_both_ways(self):
+        admitted = refused = 0
+        for seed in range(25):
+            program = generate("mixed-lattice", seed)
+            assert not program.integer_mode
+            report = _compile(program).integrality()
+            assert not report.integral, program.source
+            if program.params["over_cap"]:
+                assert report.scale is None, program.source
+                refused += 1
+            else:
+                assert report.scale is not None, program.source
+                admitted += 1
+        # the family must hit the admission boundary from both sides
+        assert admitted and refused
+
+    def test_mixed_lattice_reaches_near_cap_multipliers(self):
+        seen = set()
+        for seed in range(25):
+            program = generate("mixed-lattice", seed)
+            seen.add(program.params["den"])
+        assert NEAR_CAP_DENOMINATOR in seen
+
+
+class TestProgramGenerator:
+    def _gen(self, seed, profile):
+        import random
+
+        return ProgramGenerator(random.Random(seed), profile=profile)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile"):
+            self._gen(0, "bogus")
+
+    def test_pipeline_profile_is_integral(self):
+        for seed in range(6):
+            gen = self._gen(seed, "pipeline")
+            assert gen.integer_mode
+            pts = compile_source(gen.program(), name=f"p{seed}").pts
+            assert pts.integrality().integral
+
+    def test_pipeline_profile_emits_nested_conditionals(self):
+        sources = "\n".join(self._gen(seed, "pipeline").program() for seed in range(30))
+        # a comparison conditional (not prob) inside the loop body
+        assert any(
+            line.strip().startswith("if ") and "prob" not in line
+            for line in sources.split("\n")
+        )
+
+    def test_fractional_profile_reaches_near_cap_denominators(self):
+        admitted = 0
+        hits = 0
+        for seed in range(20):
+            source = self._gen(seed, "fractional").program()
+            if f"/{NEAR_CAP_DENOMINATOR}" not in source:
+                continue
+            hits += 1
+            report = compile_source(
+                source, integer_mode=False, name=f"f{seed}"
+            ).pts.integrality()
+            # a lone near-cap denominator is admitted with a huge
+            # multiplier; mixing it with other denominators may push the
+            # per-variable LCM past the cap, which must then refuse
+            if report.scale is not None:
+                assert max(report.scale) >= 1000
+                admitted += 1
+        assert hits, "no fractional program used the near-cap denominator"
+        assert admitted, "no near-cap program was scale-admitted"
+
+    def test_reject_profile_forces_scale_rejection(self):
+        for seed in range(8):
+            source = self._gen(seed, "reject").program()
+            report = compile_source(
+                source, integer_mode=False, name=f"r{seed}"
+            ).pts.integrality()
+            assert report.scale is None, source
+        # both rejection shapes appear somewhere in the stream
+        sources = "\n".join(self._gen(s, "reject").program() for s in range(20))
+        assert f"/{OVER_CAP_DENOMINATOR}" in sources
+        assert "/ 2 + 1" in sources
+
+
+class TestSeedDiscipline:
+    """Satellite: every artifact records its replay triple and round-trips
+    to the identical program text."""
+
+    def test_failure_artifact_roundtrips_to_identical_text(self, tmp_path):
+        program = generate("inventory", program_seed(42, 2))
+        path = tmp_path / "failure.json"
+        write_entry(
+            path,
+            failure_entry(
+                program,
+                "bracket-overlap",
+                "synthetic",
+                shrunk_source="x := 0\nassert x <= 0",
+                injected=True,
+            ),
+        )
+        entry = load_entry(path)
+        assert entry["seed"] == program.seed
+        assert entry["generator_version"] == GENERATOR_VERSION
+        assert entry["discrepancy"]["kind"] == "bracket-overlap"
+        assert entry["discrepancy"]["injected"] is True
+        replayed = regenerate(entry)
+        assert replayed.source == program.source
+        assert replayed == program
+
+    def test_corpus_entry_roundtrips(self, tmp_path):
+        program = generate("gridworld", 3)
+        path = write_entry(tmp_path / "c.json", corpus_entry(program))
+        assert regenerate(load_entry(path)).source == program.source
+
+    def test_regenerate_refuses_stale_generator_version(self, tmp_path):
+        entry = corpus_entry(generate("birth-death", 1))
+        entry["generator_version"] = "fuzz-gen.v0"
+        with pytest.raises(CorpusError, match="replay would not be faithful"):
+            regenerate(entry)
+
+    def test_regenerate_refuses_drifted_source(self):
+        entry = corpus_entry(generate("birth-death", 1))
+        entry["source"] += "\nskip"
+        with pytest.raises(CorpusError, match="drifted"):
+            regenerate(entry)
+
+    def test_load_entry_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("{}")
+        with pytest.raises(CorpusError, match="not a repro-fuzz-corpus"):
+            load_entry(path)
+
+
+#: (family, seed) -> violation probability measured at promotion time.
+#: These are the certificate-as-oracle regression pins: the bracket is
+#: tight (width < 1e-9), so a drifting engine cannot hide inside it.
+FAMILY_PINS = {
+    ("birth-death", 6): 0.4236205457353,
+    ("gridworld", 0): 0.3300695518376392,
+    ("inventory", 4): 0.5213399603962898,
+    ("mixed-lattice", 2): 0.3326016962528229,
+}
+
+
+@pytest.mark.parametrize("family,seed", sorted(FAMILY_PINS))
+def test_family_bracket_pin(family, seed):
+    program = generate(family, seed)
+    pts = _compile(program)
+    result = value_iteration(pts, max_states=50_000)
+    assert result.tight, program.source
+    pin = FAMILY_PINS[(family, seed)]
+    assert result.lower - 1e-9 <= pin <= result.upper + 1e-9, program.source
+    assert abs(0.5 * (result.lower + result.upper) - pin) < 1e-8
+
+
+def test_promoted_finds_match_their_replay_triples():
+    """The frozen registry text is the literal corpus entry."""
+    from repro.programs import get_benchmark
+    from repro.programs.fuzzed import FUZZED_SOURCES
+
+    triples = {
+        "fz-queue-surge": ("birth-death", 6),
+        "fz-grid-trap": ("gridworld", 0),
+        "fz-lattice-strain": ("mixed-lattice", 2),
+    }
+    for name, (family, seed) in triples.items():
+        assert FUZZED_SOURCES[name].strip() == generate(family, seed).source.strip()
+        inst = get_benchmark(name)
+        result = value_iteration(inst.pts, max_states=50_000)
+        pin = FAMILY_PINS[(family, seed)]
+        assert result.lower - 1e-9 <= pin <= result.upper + 1e-9
+
+
+def test_promoted_finds_are_bench_workloads():
+    from repro.experiments.fixpoint_bench import FIXPOINT_WORKLOADS
+
+    for name in ("fz-queue-surge", "fz-grid-trap", "fz-lattice-strain"):
+        source, max_states, integer_mode = FIXPOINT_WORKLOADS[name]
+        assert max_states <= 5_000  # reference comparison must stay cheap
+        assert integer_mode == (name != "fz-lattice-strain")

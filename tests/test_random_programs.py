@@ -1,13 +1,18 @@
 """Grammar-based random program generation + differential testing.
 
-A small random program generator produces syntactically valid surface
-programs; each one is pushed through the whole stack and checked for
-internal consistency:
+The generator now lives in :mod:`repro.fuzz.generators` (the farm drives
+it at scale; these tests drive it deeply).  Each random program is pushed
+through the whole stack and checked for internal consistency:
 
 * the compiled PTS validates (exclusive + complete guards);
 * the pretty-printer round-trips behaviourally;
 * simulation statistics fall inside the value-iteration bracket;
 * synthesized upper bounds dominate the bracket's lower edge.
+
+The ``fractional`` and ``reject`` profiles — update constants with
+denominators near the 1e6 lattice cap, and statements ``integrality()``
+must refuse to scale — are exercised in ``tests/test_fuzz_generators.py``
+(they are lattice stress tests, not pipeline tests).
 """
 
 import random
@@ -15,67 +20,10 @@ import random
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.fuzz.generators import ProgramGenerator
 from repro.lang import compile_source, parse_program, pretty
 from repro.pts import simulate, validate_pts
 from repro.core import exp_lin_syn, value_iteration
-
-
-class ProgramGenerator:
-    """Generates random bounded probabilistic programs.
-
-    All loops are bounded by a fuel variable so value iteration terminates;
-    probabilities are multiples of 1/8; updates are small integer shifts.
-    """
-
-    def __init__(self, rng: random.Random):
-        self.rng = rng
-        self.variables = ["a", "b"]
-
-    def expr(self, variable: str) -> str:
-        shift = self.rng.randint(-2, 3)
-        sign = "+" if shift >= 0 else "-"
-        return f"{variable} {sign} {abs(shift)}"
-
-    def assignment(self, indent: str) -> str:
-        v = self.rng.choice(self.variables)
-        return f"{indent}{v} := {self.expr(v)}"
-
-    def prob_branch(self, indent: str, depth: int) -> str:
-        eighths = self.rng.randint(1, 7)
-        body1 = self.block(indent + "    ", depth - 1)
-        body2 = self.block(indent + "    ", depth - 1)
-        return (
-            f"{indent}if prob({eighths}/8):\n{body1}\n{indent}else:\n{body2}"
-        )
-
-    def switch(self, indent: str) -> str:
-        lines = [f"{indent}switch:"]
-        for p, shift in ((4, 1), (4, -1)):
-            v = self.rng.choice(self.variables)
-            lines.append(f"{indent}    prob({p}/8): {v} := {v} + {shift}")
-        return "\n".join(lines)
-
-    def block(self, indent: str, depth: int) -> str:
-        choices = [self.assignment, self.switch]
-        if depth > 0:
-            choices.append(lambda ind: self.prob_branch(ind, depth))
-        picked = self.rng.choice(choices)
-        return picked(indent)
-
-    def program(self) -> str:
-        fuel = self.rng.randint(4, 10)
-        threshold = self.rng.randint(0, 4)
-        body = self.block("    ", depth=2)
-        comparison = self.rng.choice(["<=", ">="])
-        return (
-            "a := 0\n"
-            "b := 0\n"
-            "fuel := 0\n"
-            f"while fuel <= {fuel}:\n"
-            f"{body}\n"
-            "    fuel := fuel + 1\n"
-            f"assert a {comparison} {threshold}"
-        )
 
 
 @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])

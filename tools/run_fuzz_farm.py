@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Budgeted fuzzing-farm driver (the nightly ``fuzz`` job in bench.yml).
+
+Runs :func:`repro.fuzz.run_farm` in batches until a wall-clock budget is
+spent, deriving each batch's farm seed from the base ``--seed`` (the
+workflow passes the run id, so every night covers a fresh seed range
+while any finding stays replayable from the recorded per-program seed).
+Corpus entries and failure artifacts accumulate under ``--out``, which
+the workflow uploads; a ``summary.json`` records every batch seed, the
+per-family program counts and the discrepancy total.
+
+Exit status 0 when every batch is discrepancy-free, 1 otherwise.  Needs
+``repro`` importable (``PYTHONPATH=src``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base farm seed (batch i uses seed+i)"
+    )
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=600.0,
+        help="stop starting new batches once this much wall-clock is spent",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=20, help="programs per farm batch"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, help="engine workers per batch (0 = all cores)"
+    )
+    parser.add_argument("--max-states", type=int, default=4096)
+    parser.add_argument(
+        "--max-batches", type=int, default=50, help="hard cap on batches"
+    )
+    parser.add_argument("--out", default="fuzz-artifacts")
+    args = parser.parse_args(argv)
+
+    from repro.fuzz import GENERATOR_VERSION, run_farm
+
+    out = Path(args.out)
+    start = time.monotonic()
+    batches = []
+    total_programs = 0
+    total_discrepancies = 0
+    per_family: dict = {}
+    for i in range(args.max_batches):
+        elapsed = time.monotonic() - start
+        if i > 0 and elapsed >= args.budget_seconds:
+            break
+        batch_seed = args.seed + i
+        report = run_farm(
+            seed=batch_seed,
+            count=args.batch,
+            jobs=args.jobs,
+            max_states=args.max_states,
+            out_dir=out,
+        )
+        for line in report.render():
+            print(line)
+        print(flush=True)
+        total_programs += len(report.verdicts)
+        total_discrepancies += len(report.discrepancies)
+        for verdict in report.verdicts:
+            fam = verdict.program.family
+            per_family[fam] = per_family.get(fam, 0) + 1
+        batches.append(
+            {
+                "seed": batch_seed,
+                "programs": len(report.verdicts),
+                "discrepancies": len(report.discrepancies),
+                "seconds": round(time.monotonic() - start - elapsed, 3),
+            }
+        )
+
+    summary = {
+        "generator_version": GENERATOR_VERSION,
+        "base_seed": args.seed,
+        "batch_size": args.batch,
+        "jobs": args.jobs,
+        "max_states": args.max_states,
+        "budget_seconds": args.budget_seconds,
+        "elapsed_seconds": round(time.monotonic() - start, 3),
+        "batches": batches,
+        "programs": total_programs,
+        "per_family": per_family,
+        "discrepancies": total_discrepancies,
+    }
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
+    print(
+        f"farm summary: {len(batches)} batch(es), {total_programs} program(s), "
+        f"{total_discrepancies} discrepanc{'y' if total_discrepancies == 1 else 'ies'} "
+        f"in {summary['elapsed_seconds']:.0f}s -> {out / 'summary.json'}"
+    )
+    return 1 if total_discrepancies else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
